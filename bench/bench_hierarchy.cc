@@ -1,0 +1,79 @@
+// Experiment F2 (Figure 2 / Example 4): the date hierarchy. Times (a)
+// empirical verification of the prescribed hierarchy ODs over a generated
+// dimension, (b) inference of Path-theorem consequences ([d_date] suffixed
+// along equivalent hierarchy paths), and (c) witness search on a falsified
+// OD (the lexicographic quarter-name trap).
+
+#include <benchmark/benchmark.h>
+
+#include "core/relation.h"
+#include "core/witness.h"
+#include "prover/prover.h"
+#include "warehouse/date_dim.h"
+
+namespace od {
+namespace {
+
+Relation DimRelation(int years) {
+  engine::Table dim = warehouse::GenerateDateDim(1995, years);
+  Relation r(dim.num_columns());
+  for (int64_t i = 0; i < dim.num_rows(); ++i) {
+    std::vector<Value> row;
+    for (int c = 0; c < dim.num_columns(); ++c) row.push_back(dim.col(c).Get(i));
+    r.AddRow(std::move(row));
+  }
+  return r;
+}
+
+void BM_VerifyHierarchyOds(benchmark::State& state) {
+  Relation r = DimRelation(static_cast<int>(state.range(0)));
+  const DependencySet m = warehouse::DateDimOds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Satisfies(r, m));
+  }
+  state.counters["rows"] = static_cast<double>(r.num_rows());
+  state.counters["ods"] = m.Size();
+}
+
+void BM_InferPathConsequences(benchmark::State& state) {
+  const warehouse::DateDimColumns c;
+  // The Example 4 style consequences, re-derived each iteration.
+  const std::vector<OrderDependency> queries = {
+      {AttributeList({c.d_date}),
+       AttributeList({c.d_year, c.d_quarter, c.d_moy, c.d_dom})},
+      {AttributeList({c.d_date_sk}), AttributeList({c.d_year, c.d_woy})},
+      {AttributeList({c.d_date}), AttributeList({c.d_year, c.d_quarter})},
+      {AttributeList({c.d_year, c.d_moy}),
+       AttributeList({c.d_year, c.d_quarter, c.d_moy})},
+  };
+  for (auto _ : state) {
+    prover::Prover pv(warehouse::DateDimOds());
+    for (const auto& q : queries) {
+      benchmark::DoNotOptimize(pv.Implies(q));
+    }
+  }
+}
+
+void BM_WitnessSearchQuarterName(benchmark::State& state) {
+  Relation r = DimRelation(1);
+  const warehouse::DateDimColumns c;
+  const OrderDependency trap(AttributeList({c.d_moy}),
+                             AttributeList({c.d_quarter_name}));
+  for (auto _ : state) {
+    auto w = FindViolation(r, trap);
+    benchmark::DoNotOptimize(w);
+  }
+}
+
+BENCHMARK(BM_VerifyHierarchyOds)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InferPathConsequences);
+BENCHMARK(BM_WitnessSearchQuarterName)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace od
+
+BENCHMARK_MAIN();

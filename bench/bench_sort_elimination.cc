@@ -1,0 +1,115 @@
+// Experiment C-SORT (Section 2.3 / [17]): sort elimination for
+// order-equivalent streams. A sort-merge join whose inputs already stream
+// in an order that ℳ proves equivalent to the join keys can skip its input
+// sorts; DISTINCT on an ordered stream can use the streaming variant.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include "bench_util.h"
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "optimizer/order_property.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/star_schema.h"
+
+namespace od {
+namespace {
+
+struct Workload {
+  engine::Table dim;
+  engine::Table fact;
+  engine::Table fact_sorted;  // as an index-ordered stream would deliver
+  engine::Table dim_sorted;
+
+  explicit Workload(int64_t rows)
+      : dim(warehouse::GenerateDateDim(1998, 5)),
+        fact(warehouse::GenerateStoreSales(rows, dim.col(0).Int(0),
+                                           dim.num_rows(), 100, 10, 29)),
+        fact_sorted(engine::SortBy(fact, {0})),
+        dim_sorted(engine::SortBy(dim, {0})) {}
+};
+
+Workload& GetWorkload(int64_t rows) {
+  static std::map<int64_t, Workload*>* cache =
+      new std::map<int64_t, Workload*>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) it = cache->emplace(rows, new Workload(rows)).first;
+  return *it->second;
+}
+
+void BM_SmjWithSorts(benchmark::State& state) {
+  Workload& w = GetWorkload(state.range(0));
+  for (auto _ : state) {
+    engine::Table joined = engine::SortMergeJoin(w.fact_sorted, 0,
+                                                 w.dim_sorted, 0,
+                                                 /*assume_sorted=*/false);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+
+void BM_SmjSortsElided(benchmark::State& state) {
+  Workload& w = GetWorkload(state.range(0));
+  // The streams carry ordering properties; the reasoner certifies they
+  // provide the join-key order, so the sorts are elided.
+  opt::OrderReasoner reasoner(warehouse::DateDimOds());
+  if (!reasoner.Provides(w.dim_sorted.ordering(), {0})) {
+    state.SkipWithError("order reasoning failed");
+    return;
+  }
+  for (auto _ : state) {
+    engine::Table joined = engine::SortMergeJoin(w.fact_sorted, 0,
+                                                 w.dim_sorted, 0,
+                                                 /*assume_sorted=*/true);
+    benchmark::DoNotOptimize(joined);
+  }
+}
+
+void BM_DistinctHash(benchmark::State& state) {
+  Workload& w = GetWorkload(state.range(0));
+  for (auto _ : state) {
+    engine::Table d = engine::HashDistinct(w.fact_sorted, {0});
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void BM_DistinctStream(benchmark::State& state) {
+  Workload& w = GetWorkload(state.range(0));
+  for (auto _ : state) {
+    engine::Table d = engine::StreamDistinct(w.fact_sorted, {0});
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+BENCHMARK(BM_SmjWithSorts)
+    ->Arg(100000)
+    ->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SmjSortsElided)
+    ->Arg(100000)
+    ->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistinctHash)
+    ->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistinctStream)
+    ->Arg(400000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace od
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  od::bench::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  od::bench::PrintPairedSummary(
+      reporter, "Sort-merge join: input sorts vs OD-elided sorts",
+      {"/100000", "/400000"}, "BM_SmjWithSorts", "BM_SmjSortsElided");
+  od::bench::PrintPairedSummary(
+      reporter, "DISTINCT: hash vs ordered stream", {"/400000"},
+      "BM_DistinctHash", "BM_DistinctStream");
+  benchmark::Shutdown();
+  return 0;
+}

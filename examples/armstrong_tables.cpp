@@ -1,0 +1,70 @@
+// Walks through the completeness construction of Section 4: builds
+// split(ℳ), an empty-context swap (Figure 9), the append operation
+// (Figures 4–6), and a full satisfying-and-complete table, then
+// demonstrates completeness by falsifying a non-implied OD.
+
+#include <cstdio>
+
+#include "armstrong/append.h"
+#include "armstrong/generator.h"
+#include "armstrong/split_table.h"
+#include "armstrong/swap_table.h"
+#include "core/parser.h"
+#include "core/witness.h"
+#include "prover/prover.h"
+
+int main() {
+  using namespace od;
+
+  NameTable names;
+  Parser parser(&names);
+  DependencySet m = *parser.ParseSet("[a] -> [b]; [c] ~ [a]");
+  std::printf("ℳ:\n%s\n", m.ToString(names).c_str());
+
+  // Figures 4–6: append keeps sub-table violations separate.
+  Relation r1 = Relation::FromInts({{0, 0, 0, 0}, {0, 0, 1, 1}});
+  Relation r2 = Relation::FromInts({{0, 1, 0, 0}, {1, 0, 0, 0}});
+  std::printf("append(figure 4, figure 5) = figure 6:\n%s\n",
+              armstrong::Append(r1, r2).ToString().c_str());
+
+  // split(ℳ): falsifies every FD-style consequence not implied by ℳ.
+  const AttributeSet universe = m.Attributes();
+  Relation split = armstrong::BuildSplitTable(m, universe);
+  std::printf("split(ℳ) has %d rows; satisfies ℳ: %s\n", split.num_rows(),
+              Satisfies(split, m) ? "yes" : "NO");
+
+  // An empty-context swap for a pair of order-incomparable attributes.
+  prover::Prover pv(m);
+  const AttributeId a = names.Lookup("a");
+  const AttributeId b = names.Lookup("b");
+  auto swap = armstrong::BuildEmptyContextSwap(pv, universe, a, b);
+  if (swap.has_value()) {
+    std::printf("\nFigure 9 swap for (a, b):\n%s", swap->ToString().c_str());
+  }
+
+  // The full table: satisfies ℳ and falsifies everything else.
+  Relation table = armstrong::BuildArmstrongTable(m, universe);
+  std::printf("\nArmstrong table (%d rows):\n%s\n", table.num_rows(),
+              table.ToString().c_str());
+  std::printf("satisfies ℳ: %s\n", Satisfies(table, m) ? "yes" : "NO");
+
+  auto check = [&](const char* text) {
+    auto ods = parser.ParseStatement(text);
+    bool implied = true;
+    bool satisfied = true;
+    for (const auto& dep : *ods) {
+      implied = implied && pv.Implies(dep);
+      satisfied = satisfied && Satisfies(table, dep);
+    }
+    std::printf("  %-22s implied=%-3s  holds-on-table=%-3s  %s\n", text,
+                implied ? "yes" : "no", satisfied ? "yes" : "no",
+                implied == satisfied ? "(agree)" : "(MISMATCH)");
+  };
+  std::printf("\ncompleteness spot checks (implied iff satisfied):\n");
+  check("[a] -> [b]");
+  check("[b] -> [a]");
+  check("[a] -> [c]");
+  check("[c, a] -> [c, b]");
+  check("[a] ~ [c]");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Re-derives every theorem of Section 3.3 (and the FD subsumption results
+// of Section 4.2) mechanically, printing each derivation in the paper's
+// tabular style and validating every step with the semantic checker.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "axioms/system.h"
+#include "axioms/theorems.h"
+
+int main() {
+  using namespace od;
+  using axioms::Proof;
+
+  const AttributeList X({0}), Y({1}), Z({2}), V({3}), W({4});
+  const AttributeList XY({0, 1}), YX({1, 0}), E;
+
+  struct Entry {
+    const char* title;
+    std::function<Proof()> derive;
+  };
+  const std::vector<Entry> theorems = {
+      {"Theorem 2 (Union): X -> Y, X -> Z ⊢ X -> YZ",
+       [&] { return axioms::Union(X, Y, Z); }},
+      {"Theorem 3 (Augmentation): X -> Y ⊢ XZ -> Y",
+       [&] { return axioms::Augmentation(X, Y, Z); }},
+      {"Theorem 4 (Shift): V <-> W, X -> Y ⊢ VX -> WY",
+       [&] { return axioms::Shift(V, W, X, Y); }},
+      {"Theorem 5 (Decomposition): X -> YZ ⊢ X -> Y",
+       [&] { return axioms::Decomposition(X, Y, Z); }},
+      {"Theorem 6 (Replace): X <-> Y ⊢ ZXV <-> ZYV",
+       [&] { return axioms::Replace(Z, X, Y, V); }},
+      {"Theorem 7 (Eliminate): X -> Y ⊢ ZXYV <-> ZXV",
+       [&] { return axioms::Eliminate(Z, X, Y, V); }},
+      {"Theorem 8 (Left Eliminate): X -> Y ⊢ ZYXV <-> ZXV",
+       [&] { return axioms::LeftEliminate(Z, Y, X, V); }},
+      {"Theorem 9 (Drop): X -> UVW, X <-> U ⊢ X -> UW",
+       [&] { return axioms::Drop(X, Y, Z, W); }},
+      {"Theorem 10 (Path): X -> VT, V <-> VAB ⊢ X -> VAT",
+       [&] { return axioms::Path(W, X, Y, Z, V); }},
+      {"Theorem 11 (Partition): V -> X, V -> Y, set(X)=set(Y) ⊢ X <-> Y",
+       [&] { return axioms::Partition(Z, XY, YX); }},
+      {"Theorem 12 (Downward Closure): X ~ YZ ⊢ X ~ Y",
+       [&] { return axioms::DownwardClosure(X, Y, Z); }},
+      {"Theorem 14 (Permutation): X -> Y ⊢ X' -> X'Y'",
+       [&] { return axioms::Permutation(XY, AttributeList({2, 3}), YX,
+                                        AttributeList({3, 2})); }},
+      {"Theorem 15 forward: X -> Y ⊢ X -> XY and X ~ Y",
+       [&] { return axioms::Theorem15Forward(X, Y); }},
+      {"Theorem 15 backward: X -> XY, X ~ Y ⊢ X -> Y",
+       [&] { return axioms::Theorem15Backward(X, Y); }},
+      {"Chain (OD6) instance: X ~ Y (+ side conditions) ⊢ X ~ Z",
+       [&] { return axioms::Chain(X, {Y}, Z); }},
+      {"Armstrong Reflexivity via ODs (Theorem 16)",
+       [&] {
+         return axioms::ArmstrongReflexivity(AttributeSet{0, 1},
+                                             AttributeSet{1});
+       }},
+      {"Armstrong Augmentation via ODs (Theorem 16)",
+       [&] {
+         return axioms::ArmstrongAugmentation(
+             AttributeSet{0}, AttributeSet{1}, AttributeSet{2});
+       }},
+      {"Armstrong Transitivity via ODs (Theorem 16)",
+       [&] {
+         return axioms::ArmstrongTransitivity(
+             AttributeSet{0}, AttributeSet{1}, AttributeSet{2});
+       }},
+  };
+
+  int checked = 0;
+  for (const auto& entry : theorems) {
+    Proof proof = entry.derive();
+    std::string error;
+    const bool ok = axioms::CheckProofSemantically(proof, &error);
+    std::printf("----------------------------------------------------------\n");
+    std::printf("%s\n%s", entry.title, proof.ToString().c_str());
+    std::printf("=> every step semantically valid: %s%s\n", ok ? "yes" : "NO",
+                ok ? "" : (" (" + error + ")").c_str());
+    if (ok) ++checked;
+  }
+  std::printf("----------------------------------------------------------\n");
+  std::printf("%d / %zu derivations check.\n", checked, theorems.size());
+  return checked == static_cast<int>(theorems.size()) ? 0 : 1;
+}

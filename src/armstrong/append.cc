@@ -1,0 +1,62 @@
+#include "armstrong/append.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace od {
+namespace armstrong {
+
+namespace {
+
+int64_t MinCell(const Relation& r) {
+  int64_t m = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < r.num_rows(); ++i) {
+    for (int a = 0; a < r.num_attributes(); ++a) {
+      m = std::min(m, r.At(i, a).AsInt());
+    }
+  }
+  return r.num_rows() == 0 ? 0 : m;
+}
+
+int64_t MaxCell(const Relation& r) {
+  int64_t m = std::numeric_limits<int64_t>::min();
+  for (int i = 0; i < r.num_rows(); ++i) {
+    for (int a = 0; a < r.num_attributes(); ++a) {
+      m = std::max(m, r.At(i, a).AsInt());
+    }
+  }
+  return r.num_rows() == 0 ? -1 : m;
+}
+
+void AppendShifted(const Relation& src, int64_t shift, Relation* dst) {
+  for (int i = 0; i < src.num_rows(); ++i) {
+    std::vector<int64_t> row(src.num_attributes());
+    for (int a = 0; a < src.num_attributes(); ++a) {
+      row[a] = src.At(i, a).AsInt() + shift;
+    }
+    dst->AddIntRow(row);
+  }
+}
+
+}  // namespace
+
+Relation NormalizeMin(const Relation& r) {
+  Relation out(r.num_attributes());
+  AppendShifted(r, -MinCell(r), &out);
+  return out;
+}
+
+Relation Append(const Relation& first, const Relation& second) {
+  if (first.num_rows() == 0) return NormalizeMin(second);
+  if (second.num_rows() == 0) return NormalizeMin(first);
+  assert(first.num_attributes() == second.num_attributes());
+  Relation out(first.num_attributes());
+  AppendShifted(first, -MinCell(first), &out);
+  const int64_t offset = MaxCell(first) - MinCell(first) + 1;
+  AppendShifted(second, offset - MinCell(second), &out);
+  return out;
+}
+
+}  // namespace armstrong
+}  // namespace od

@@ -1,0 +1,30 @@
+#ifndef OD_ARMSTRONG_APPEND_H_
+#define OD_ARMSTRONG_APPEND_H_
+
+#include "core/relation.h"
+
+namespace od {
+namespace armstrong {
+
+/// The `append` operation of Definition 17 (Figures 4–6): vertically
+/// stacks two integer-valued sub-tables after shifting their values so that
+/// every cell of the first is strictly below every cell of the second:
+///
+///   1. subtract each table's global minimum (both now start at 0);
+///   2. add max(first) + 1 to every cell of the second.
+///
+/// Lemma 9: because all values in the first part are smaller than all values
+/// in the second, appending introduces no new splits (other than for X ↦ []
+/// style trivia) and no new swaps across the parts — each part keeps exactly
+/// the violations it had alone.
+///
+/// Both relations must have the same attribute count and integer cells.
+Relation Append(const Relation& first, const Relation& second);
+
+/// Returns a copy of `r` with values shifted so the minimum cell is 0.
+Relation NormalizeMin(const Relation& r);
+
+}  // namespace armstrong
+}  // namespace od
+
+#endif  // OD_ARMSTRONG_APPEND_H_

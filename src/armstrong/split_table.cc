@@ -1,0 +1,36 @@
+#include "armstrong/split_table.h"
+
+#include "armstrong/append.h"
+#include "fd/fd_set.h"
+
+namespace od {
+namespace armstrong {
+
+Relation BuildSplitTable(const DependencySet& m,
+                         const AttributeSet& universe) {
+  const fd::FdSet fds = fd::FdProjection(m);
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  const int n = attrs.empty() ? 0 : attrs.back() + 1;
+  const int k = static_cast<int>(attrs.size());
+  Relation result(n);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << k); ++mask) {
+    AttributeSet w;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (uint64_t{1} << i)) w.Add(attrs[i]);
+    }
+    const AttributeSet closure = fds.Closure(w);
+    Relation block(n);
+    std::vector<int64_t> row0(n, 0);
+    std::vector<int64_t> row1(n, 0);
+    for (AttributeId a : attrs) {
+      row1[a] = closure.Contains(a) ? 0 : 1;
+    }
+    block.AddIntRow(row0);
+    block.AddIntRow(row1);
+    result = Append(result, block);
+  }
+  return result;
+}
+
+}  // namespace armstrong
+}  // namespace od

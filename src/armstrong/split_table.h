@@ -1,0 +1,32 @@
+#ifndef OD_ARMSTRONG_SPLIT_TABLE_H_
+#define OD_ARMSTRONG_SPLIT_TABLE_H_
+
+#include "core/dependency.h"
+#include "core/relation.h"
+
+namespace od {
+namespace armstrong {
+
+/// split(ℳ) — Section 4.1 and Figure 7.
+///
+/// For every subset W of `universe` the table receives the Ullman two-row
+/// block over the FD projection ℱ of ℳ:
+///
+///     W⁺ attributes | others         (W⁺ = closure of W under ℱ)
+///     0 0 ... 0     | 0 0 ... 0
+///     0 0 ... 0     | 1 1 ... 1
+///
+/// Blocks are combined with `append`. Properties (Lemma 10):
+///  * every block ascends column-wise, so split(ℳ) contains no swaps;
+///  * the W block splits exactly the FDs W → A with A ∉ W⁺, so split(ℳ)
+///    falsifies X ↦ XY (hence X ↦ Y) for every FD-consequence not implied
+///    by ℳ, while satisfying ℳ itself.
+///
+/// Exponential in |universe| (2^n blocks); intended for the verification
+/// suites over small universes, mirroring the constructive proof.
+Relation BuildSplitTable(const DependencySet& m, const AttributeSet& universe);
+
+}  // namespace armstrong
+}  // namespace od
+
+#endif  // OD_ARMSTRONG_SPLIT_TABLE_H_

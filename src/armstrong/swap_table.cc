@@ -1,0 +1,93 @@
+#include "armstrong/swap_table.h"
+
+#include "prover/compat_graph.h"
+#include "prover/two_row_model.h"
+
+namespace od {
+namespace armstrong {
+
+namespace {
+
+bool ContextFeasible(const prover::Prover& prover, const AttributeSet& ctx,
+                     AttributeId a, AttributeId b) {
+  std::vector<std::pair<AttributeId, prover::Sign>> pinned;
+  for (AttributeId c : ctx.ToVector()) pinned.emplace_back(c, 0);
+  pinned.emplace_back(a, prover::Sign{1});
+  pinned.emplace_back(b, prover::Sign{-1});
+  return prover::FindModelWithSigns(prover.deps(),
+                                    prover.deps().Attributes(), pinned)
+      .has_value();
+}
+
+}  // namespace
+
+std::vector<AttributeSet> MaximalSwapContexts(const prover::Prover& prover,
+                                              const AttributeSet& universe,
+                                              AttributeId a, AttributeId b) {
+  // Candidate context attributes: everything except the pair itself and
+  // ℳ-constants (freezing a constant adds nothing and would break the
+  // termination argument of the generator's recursion).
+  AttributeSet pool = universe;
+  pool.Remove(a);
+  pool.Remove(b);
+  pool = pool.Minus(prover.Constants());
+  const std::vector<AttributeId> attrs = pool.ToVector();
+  const int k = static_cast<int>(attrs.size());
+
+  std::vector<AttributeSet> feasible;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << k); ++mask) {
+    AttributeSet ctx;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (uint64_t{1} << i)) ctx.Add(attrs[i]);
+    }
+    if (ContextFeasible(prover, ctx, a, b)) feasible.push_back(ctx);
+  }
+  // Keep only maximal contexts.
+  std::vector<AttributeSet> maximal;
+  for (const auto& c : feasible) {
+    bool is_max = true;
+    for (const auto& d : feasible) {
+      if (c.ProperSubsetOf(d)) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) maximal.push_back(c);
+  }
+  return maximal;
+}
+
+std::optional<Relation> BuildEmptyContextSwap(const prover::Prover& prover,
+                                              const AttributeSet& universe,
+                                              AttributeId a, AttributeId b) {
+  const AttributeSet constants = prover.Constants().Intersect(universe);
+  const AttributeSet live = universe.Minus(constants);
+  prover::CompatibilityGraph graph(prover, live);
+  if (graph.SameComponent(a, b)) return std::nullopt;
+  // A's group and the remaining attributes both ascend, so only B's group
+  // needs to be materialized explicitly.
+  const AttributeSet b_group = graph.ComponentMembers(b);
+
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  const int n = attrs.empty() ? 0 : attrs.back() + 1;
+  Relation r(n);
+  std::vector<int64_t> row0(n, 0);
+  std::vector<int64_t> row1(n, 0);
+  for (AttributeId c : attrs) {
+    if (constants.Contains(c)) {
+      row0[c] = row1[c] = 0;  // frozen
+    } else if (b_group.Contains(c)) {
+      row0[c] = 1;  // B's group descends with B
+      row1[c] = 0;
+    } else {
+      row0[c] = 0;  // A's group and the remaining attributes ascend
+      row1[c] = 1;
+    }
+  }
+  r.AddIntRow(row0);
+  r.AddIntRow(row1);
+  return r;
+}
+
+}  // namespace armstrong
+}  // namespace od

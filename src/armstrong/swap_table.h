@@ -1,0 +1,46 @@
+#ifndef OD_ARMSTRONG_SWAP_TABLE_H_
+#define OD_ARMSTRONG_SWAP_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/relation.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace armstrong {
+
+/// swap(ℳ) machinery — Section 4.1 / 4.3 and Figures 8–9.
+///
+/// A *context* for the attribute pair (A, B) is a set of attributes C such
+/// that a swap between A and B can occur among tuples that agree on C
+/// without falsifying anything in ℳ⁺ (Definition 19). We detect feasibility
+/// exactly: C is feasible iff some two-row model of ℳ has σ = 0 on C,
+/// σ[A] = +1 and σ[B] = −1. The construction only needs the *maximal*
+/// feasible contexts.
+
+/// All maximal feasible contexts for the pair (a, b) over `universe`.
+/// Returns an empty vector when ℳ ⊨ A ~ B in every context (no swap needed).
+std::vector<AttributeSet> MaximalSwapContexts(const prover::Prover& prover,
+                                              const AttributeSet& universe,
+                                              AttributeId a, AttributeId b);
+
+/// The empty-context two-row swap of Figure 9 / Lemma 12: A ascends, B
+/// descends, every attribute order-compatibility-connected to A follows A,
+/// every attribute connected to B follows B, and the remaining attributes
+/// ascend. The Chain axiom (OD6) guarantees A's and B's components are
+/// disjoint whenever the (unique) maximal context is empty, making the two
+/// rows constructible.
+///
+/// Returns nullopt if A and B share a compatibility component (in which case
+/// no empty-context swap is consistent — the caller's feasibility check
+/// should have prevented this).
+std::optional<Relation> BuildEmptyContextSwap(const prover::Prover& prover,
+                                              const AttributeSet& universe,
+                                              AttributeId a, AttributeId b);
+
+}  // namespace armstrong
+}  // namespace od
+
+#endif  // OD_ARMSTRONG_SWAP_TABLE_H_

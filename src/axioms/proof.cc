@@ -1,0 +1,153 @@
+#include "axioms/proof.h"
+
+#include <cassert>
+
+namespace od {
+namespace axioms {
+
+int Proof::AddGiven(const OrderDependency& od) {
+  steps_.push_back(ProofStep{od, Rule::kGiven, {}, ""});
+  return Size() - 1;
+}
+
+int Proof::AddStep(const OrderDependency& od, Rule rule,
+                   std::vector<int> premises, std::string note) {
+  steps_.push_back(ProofStep{od, rule, std::move(premises), std::move(note)});
+  return Size() - 1;
+}
+
+std::vector<OrderDependency> Proof::Conclusions() const {
+  std::vector<OrderDependency> out;
+  if (conclusions_.empty()) {
+    if (!steps_.empty()) out.push_back(steps_.back().od);
+    return out;
+  }
+  for (int i : conclusions_) out.push_back(steps_[i].od);
+  return out;
+}
+
+DependencySet Proof::Givens() const {
+  DependencySet out;
+  for (const auto& s : steps_) {
+    if (s.rule == Rule::kGiven) out.Add(s.od);
+  }
+  return out;
+}
+
+bool Proof::CheckStructure(std::string* error) const {
+  for (int i = 0; i < Size(); ++i) {
+    for (int p : steps_[i].premises) {
+      if (p < 0 || p >= i) {
+        if (error != nullptr) {
+          *error = "step " + std::to_string(i) +
+                   " references invalid premise " + std::to_string(p);
+        }
+        return false;
+      }
+    }
+    if (steps_[i].rule == Rule::kGiven && !steps_[i].premises.empty()) {
+      if (error != nullptr) {
+        *error = "given step " + std::to_string(i) + " has premises";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Proof::ToString(const NameTable* names) const {
+  std::string out;
+  for (int i = 0; i < Size(); ++i) {
+    const ProofStep& s = steps_[i];
+    out += std::to_string(i + 1) + ". ";
+    out += names != nullptr ? s.od.ToString(*names) : s.od.ToString();
+    out += "   [";
+    out += RuleName(s.rule);
+    if (!s.premises.empty()) {
+      out += "(";
+      for (size_t j = 0; j < s.premises.size(); ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(s.premises[j] + 1);
+      }
+      out += ")";
+    }
+    out += "]";
+    if (!s.note.empty()) {
+      out += "  // " + s.note;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int Derivation::Reflexivity(const AttributeList& x, const AttributeList& y) {
+  return proof_.AddStep(OrderDependency(x.Concat(y), x), Rule::kReflexivity,
+                        {});
+}
+
+int Derivation::ReflexivitySelf(const AttributeList& x) {
+  return proof_.AddStep(OrderDependency(x, x), Rule::kReflexivity, {});
+}
+
+int Derivation::Prefix(int p, const AttributeList& z) {
+  const OrderDependency& prem = proof_.step(p).od;
+  return proof_.AddStep(
+      OrderDependency(z.Concat(prem.lhs), z.Concat(prem.rhs)), Rule::kPrefix,
+      {p});
+}
+
+int Derivation::NormalizationFwd(const AttributeList& t,
+                                 const AttributeList& x,
+                                 const AttributeList& u,
+                                 const AttributeList& v) {
+  AttributeList left = t.Concat(x).Concat(u).Concat(x).Concat(v);
+  AttributeList right = t.Concat(x).Concat(u).Concat(v);
+  return proof_.AddStep(OrderDependency(left, right), Rule::kNormalization,
+                        {});
+}
+
+int Derivation::NormalizationBwd(const AttributeList& t,
+                                 const AttributeList& x,
+                                 const AttributeList& u,
+                                 const AttributeList& v) {
+  AttributeList left = t.Concat(x).Concat(u).Concat(x).Concat(v);
+  AttributeList right = t.Concat(x).Concat(u).Concat(v);
+  return proof_.AddStep(OrderDependency(right, left), Rule::kNormalization,
+                        {});
+}
+
+int Derivation::Transitivity(int p1, int p2) {
+  const OrderDependency& a = proof_.step(p1).od;
+  const OrderDependency& b = proof_.step(p2).od;
+  assert(a.rhs == b.lhs && "Transitivity requires matching middle list");
+  return proof_.AddStep(OrderDependency(a.lhs, b.rhs), Rule::kTransitivity,
+                        {p1, p2});
+}
+
+int Derivation::SuffixFwd(int p) {
+  const OrderDependency& prem = proof_.step(p).od;
+  return proof_.AddStep(
+      OrderDependency(prem.lhs, prem.rhs.Concat(prem.lhs)), Rule::kSuffix,
+      {p});
+}
+
+int Derivation::SuffixBwd(int p) {
+  const OrderDependency& prem = proof_.step(p).od;
+  return proof_.AddStep(
+      OrderDependency(prem.rhs.Concat(prem.lhs), prem.lhs), Rule::kSuffix,
+      {p});
+}
+
+int Derivation::Lemma(const OrderDependency& od, std::vector<int> premises,
+                      std::string note) {
+  return proof_.AddStep(od, Rule::kLemma, std::move(premises),
+                        std::move(note));
+}
+
+int Derivation::Step(const OrderDependency& od, Rule rule,
+                     std::vector<int> premises, std::string note) {
+  return proof_.AddStep(od, rule, std::move(premises), std::move(note));
+}
+
+}  // namespace axioms
+}  // namespace od

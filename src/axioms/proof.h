@@ -1,0 +1,111 @@
+#ifndef OD_AXIOMS_PROOF_H_
+#define OD_AXIOMS_PROOF_H_
+
+#include <string>
+#include <vector>
+
+#include "axioms/rule.h"
+#include "core/dependency.h"
+
+namespace od {
+namespace axioms {
+
+/// One line of a derivation: an OD together with the rule that justifies it
+/// and the indices of the earlier steps used as premises (Definition 6 of
+/// the paper: a proof of θ from ℳ is a sequence θ₁, ..., θₙ where each θᵢ is
+/// in ℳ or follows from earlier steps by an inference rule).
+struct ProofStep {
+  OrderDependency od;
+  Rule rule = Rule::kGiven;
+  std::vector<int> premises;
+  std::string note;
+};
+
+/// A derivation: a checked sequence of proof steps. The conclusion is the
+/// final step (or final pair of steps for ↔ / ~ conclusions).
+class Proof {
+ public:
+  Proof() = default;
+
+  int AddGiven(const OrderDependency& od);
+  int AddStep(const OrderDependency& od, Rule rule, std::vector<int> premises,
+              std::string note = "");
+
+  int Size() const { return static_cast<int>(steps_.size()); }
+  const ProofStep& step(int i) const { return steps_[i]; }
+  const std::vector<ProofStep>& steps() const { return steps_; }
+
+  /// The OD established by the final step.
+  const OrderDependency& Conclusion() const { return steps_.back().od; }
+
+  /// Marks step `i` as one of the theorem's conclusions (↔ and ~ theorems
+  /// conclude with a pair of ODs; Theorem 15 with three).
+  void MarkConclusion(int i) { conclusions_.push_back(i); }
+  /// The marked conclusions, or the final step if none were marked.
+  std::vector<OrderDependency> Conclusions() const;
+
+  /// All premises (kGiven steps).
+  DependencySet Givens() const;
+
+  /// Structural well-formedness: premise indices refer to earlier steps.
+  bool CheckStructure(std::string* error = nullptr) const;
+
+  std::string ToString(const NameTable* names = nullptr) const;
+
+ private:
+  std::vector<ProofStep> steps_;
+  std::vector<int> conclusions_;
+};
+
+/// A convenience builder that both computes each rule's conclusion and
+/// appends the step, mirroring how the paper's proof tables are written.
+/// Instantiation errors (e.g. Transitivity on non-matching middles) are
+/// programming errors and abort in debug builds.
+class Derivation {
+ public:
+  Derivation() = default;
+
+  int Given(const OrderDependency& od) { return proof_.AddGiven(od); }
+
+  /// OD1 (Reflexivity): concludes X∘Y ↦ X.
+  int Reflexivity(const AttributeList& x, const AttributeList& y);
+  /// Reflexivity with Y = []: X ↦ X.
+  int ReflexivitySelf(const AttributeList& x);
+
+  /// OD2 (Prefix): from step `p` (X ↦ Y) concludes Z∘X ↦ Z∘Y.
+  int Prefix(int p, const AttributeList& z);
+
+  /// OD3 (Normalization), forward: concludes T∘X∘U∘X∘V ↦ T∘X∘U∘V.
+  int NormalizationFwd(const AttributeList& t, const AttributeList& x,
+                       const AttributeList& u, const AttributeList& v);
+  /// OD3, backward: concludes T∘X∘U∘V ↦ T∘X∘U∘X∘V.
+  int NormalizationBwd(const AttributeList& t, const AttributeList& x,
+                       const AttributeList& u, const AttributeList& v);
+
+  /// OD4 (Transitivity): from steps X ↦ Y and Y ↦ Z concludes X ↦ Z.
+  int Transitivity(int p1, int p2);
+
+  /// OD5 (Suffix), first conclusion: from X ↦ Y concludes X ↦ Y∘X.
+  int SuffixFwd(int p);
+  /// OD5 (Suffix), second conclusion: from X ↦ Y concludes Y∘X ↦ X.
+  int SuffixBwd(int p);
+
+  /// A compressed intermediate step (see Rule::kLemma).
+  int Lemma(const OrderDependency& od, std::vector<int> premises,
+            std::string note = "");
+  /// An explicitly tagged derived-theorem step.
+  int Step(const OrderDependency& od, Rule rule, std::vector<int> premises,
+           std::string note = "");
+
+  const OrderDependency& Od(int i) const { return proof_.step(i).od; }
+  void MarkConclusion(int i) { proof_.MarkConclusion(i); }
+  Proof Build() const { return proof_; }
+
+ private:
+  Proof proof_;
+};
+
+}  // namespace axioms
+}  // namespace od
+
+#endif  // OD_AXIOMS_PROOF_H_

@@ -1,0 +1,186 @@
+#include "axioms/proof_search.h"
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "prover/closure.h"
+
+namespace od {
+namespace axioms {
+
+namespace {
+
+using Key = std::pair<std::vector<AttributeId>, std::vector<AttributeId>>;
+
+Key MakeKey(const AttributeList& lhs, const AttributeList& rhs) {
+  return {lhs.attrs(), rhs.attrs()};
+}
+
+/// A derived fact with its justification, forming a DAG over node ids.
+struct Node {
+  OrderDependency od;  // over duplicate-free lists
+  Rule rule;
+  std::vector<int> premises;  // node ids
+};
+
+class Search {
+ public:
+  Search(const DependencySet& m, const OrderDependency& goal, int max_len,
+         int max_derived)
+      : max_len_(max_len), max_derived_(max_derived) {
+    universe_ = m.Attributes().Union(goal.Attributes());
+    lists_ = prover::EnumerateLists(universe_, max_len_);
+    // Seed the givens (normalized — see header contract).
+    for (const auto& dep : m.ods()) {
+      AddNode(OrderDependency(dep.lhs.RemoveDuplicates(),
+                              dep.rhs.RemoveDuplicates()),
+              Rule::kGiven, {});
+    }
+    // Seed every Reflexivity instance in scope: L ↦ prefix(L).
+    for (const auto& l : lists_) {
+      for (int cut = 0; cut <= l.Size(); ++cut) {
+        AddNode(OrderDependency(l, l.Prefix(cut)), Rule::kReflexivity,
+                {});
+      }
+    }
+  }
+
+  std::optional<int> Run(const Key& goal_key) {
+    while (!work_.empty() &&
+           static_cast<int>(nodes_.size()) < max_derived_) {
+      const int id = work_.front();
+      work_.pop_front();
+      Expand(id);
+      auto it = index_.find(goal_key);
+      if (it != index_.end()) return it->second;
+    }
+    auto it = index_.find(goal_key);
+    if (it != index_.end()) return it->second;
+    return std::nullopt;
+  }
+
+  const Node& node(int id) const { return nodes_[id]; }
+
+ private:
+  bool InScope(const AttributeList& l) const {
+    return l.Size() <= max_len_;
+  }
+
+  int AddNode(OrderDependency dep, Rule rule,
+              std::vector<int> premises) {
+    const Key key = MakeKey(dep.lhs, dep.rhs);
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{std::move(dep), rule, std::move(premises)});
+    index_.emplace(key, id);
+    by_lhs_[key.first].push_back(id);
+    by_rhs_[key.second].push_back(id);
+    work_.push_back(id);
+    return id;
+  }
+
+  void Expand(int id) {
+    // Copy: nodes_ may reallocate as we add.
+    const OrderDependency dep = nodes_[id].od;
+    // OD5 Suffix: X ↦ Y ⊢ X ↔ YX (normalized in scope).
+    const AttributeList yx = dep.rhs.Concat(dep.lhs).RemoveDuplicates();
+    if (InScope(yx)) {
+      AddNode(OrderDependency(dep.lhs, yx), Rule::kSuffix, {id});
+      AddNode(OrderDependency(yx, dep.lhs), Rule::kSuffix, {id});
+    }
+    // OD2 Prefix: ZX ↦ ZY for each nonempty in-scope Z.
+    for (const auto& z : lists_) {
+      if (z.IsEmpty()) continue;
+      const AttributeList zx = z.Concat(dep.lhs).RemoveDuplicates();
+      const AttributeList zy = z.Concat(dep.rhs).RemoveDuplicates();
+      if (InScope(zx) && InScope(zy)) {
+        AddNode(OrderDependency(zx, zy), Rule::kPrefix, {id});
+      }
+    }
+    // OD4 Transitivity, both joining directions.
+    const Key key = MakeKey(dep.lhs, dep.rhs);
+    const auto continuations = by_lhs_.find(key.second);
+    if (continuations != by_lhs_.end()) {
+      const std::vector<int> snapshot = continuations->second;
+      for (int other : snapshot) {
+        AddNode(OrderDependency(dep.lhs, nodes_[other].od.rhs),
+                Rule::kTransitivity, {id, other});
+      }
+    }
+    const auto predecessors = by_rhs_.find(key.first);
+    if (predecessors != by_rhs_.end()) {
+      const std::vector<int> snapshot = predecessors->second;
+      for (int other : snapshot) {
+        AddNode(OrderDependency(nodes_[other].od.lhs, dep.rhs),
+                Rule::kTransitivity, {other, id});
+      }
+    }
+  }
+
+  int max_len_;
+  int max_derived_;
+  AttributeSet universe_;
+  std::vector<AttributeList> lists_;
+  std::vector<Node> nodes_;
+  std::map<Key, int> index_;
+  std::map<std::vector<AttributeId>, std::vector<int>> by_lhs_;
+  std::map<std::vector<AttributeId>, std::vector<int>> by_rhs_;
+  std::deque<int> work_;
+};
+
+/// Emits `target` and its ancestors into `d`, memoizing node → step index.
+int Reconstruct(const Search& search, int id, Derivation* d,
+                std::map<int, int>* emitted) {
+  auto it = emitted->find(id);
+  if (it != emitted->end()) return it->second;
+  const Node& node = search.node(id);
+  std::vector<int> premise_steps;
+  premise_steps.reserve(node.premises.size());
+  for (int p : node.premises) {
+    premise_steps.push_back(Reconstruct(search, p, d, emitted));
+  }
+  int step;
+  if (node.rule == Rule::kGiven) {
+    step = d->Given(node.od);
+  } else {
+    step = d->Step(node.od, node.rule, std::move(premise_steps));
+  }
+  emitted->emplace(id, step);
+  return step;
+}
+
+}  // namespace
+
+std::optional<Proof> SearchProof(const DependencySet& m,
+                                         const OrderDependency& goal,
+                                         int max_len, int max_derived) {
+  const OrderDependency normalized(goal.lhs.RemoveDuplicates(),
+                                   goal.rhs.RemoveDuplicates());
+  if (normalized.lhs.Size() > max_len || normalized.rhs.Size() > max_len) {
+    return std::nullopt;
+  }
+  Search search(m, normalized, max_len, max_derived);
+  auto found = search.Run(MakeKey(normalized.lhs, normalized.rhs));
+  if (!found.has_value()) return std::nullopt;
+
+  Derivation d;
+  std::map<int, int> emitted;
+  int last = Reconstruct(search, *found, &d, &emitted);
+  if (!(normalized == goal)) {
+    // Bridge back to the original duplicate-carrying lists (OD3).
+    const int pre = d.Step(OrderDependency(goal.lhs, normalized.lhs),
+                           Rule::kNormalization, {});
+    const int mid = d.Transitivity(pre, last);
+    const int post = d.Step(OrderDependency(normalized.rhs, goal.rhs),
+                            Rule::kNormalization, {});
+    last = d.Transitivity(mid, post);
+  }
+  d.MarkConclusion(last);
+  return d.Build();
+}
+
+}  // namespace axioms
+}  // namespace od

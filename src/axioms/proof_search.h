@@ -1,0 +1,37 @@
+#ifndef OD_AXIOMS_PROOF_SEARCH_H_
+#define OD_AXIOMS_PROOF_SEARCH_H_
+
+#include <optional>
+
+#include "axioms/proof.h"
+#include "core/dependency.h"
+
+namespace od {
+namespace axioms {
+
+/// A certificate-producing syntactic prover: searches for a derivation of
+/// `goal` from ℳ using the axioms OD1–OD6, returning a checkable `Proof`
+/// object (Definition 6) when one is found within the search bounds.
+///
+/// This complements the model-theoretic `Prover`: that one answers yes/no
+/// exactly; this one produces the *evidence* — a paper-style derivation —
+/// but only explores lists up to `max_len` attributes (duplicate-free, which
+/// loses nothing by Normalization), so it may miss derivations that need
+/// longer intermediate lists. Returns nullopt on exhaustion.
+///
+/// The search saturates forward from ℳ:
+///   * Reflexivity instances XY ↦ X;
+///   * Suffix: X ↦ Y gives X ↔ YX (normalized);
+///   * Prefix: X ↦ Y gives ZX ↦ ZY for in-scope Z;
+///   * Transitivity joins matching pairs;
+/// tracking, for every derived OD, the rule and premises that produced it,
+/// from which the final Proof is reconstructed.
+std::optional<Proof> SearchProof(const DependencySet& m,
+                                         const OrderDependency& goal,
+                                         int max_len = 3,
+                                         int max_derived = 200000);
+
+}  // namespace axioms
+}  // namespace od
+
+#endif  // OD_AXIOMS_PROOF_SEARCH_H_

@@ -1,0 +1,48 @@
+#include "axioms/rule.h"
+
+namespace od {
+namespace axioms {
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kGiven: return "Given";
+    case Rule::kReflexivity: return "Ref";
+    case Rule::kPrefix: return "Pref";
+    case Rule::kNormalization: return "Norm";
+    case Rule::kTransitivity: return "Tran";
+    case Rule::kSuffix: return "Suf";
+    case Rule::kChain: return "Chain";
+    case Rule::kUnion: return "Union";
+    case Rule::kAugmentation: return "Aug";
+    case Rule::kShift: return "Shift";
+    case Rule::kDecomposition: return "Dec";
+    case Rule::kReplace: return "Rep";
+    case Rule::kEliminate: return "Elim";
+    case Rule::kLeftEliminate: return "LeftElim";
+    case Rule::kDrop: return "Drop";
+    case Rule::kPath: return "Path";
+    case Rule::kPartition: return "Part";
+    case Rule::kDownwardClosure: return "DownCl";
+    case Rule::kPermutation: return "Perm";
+    case Rule::kTheorem15: return "Thm15";
+    case Rule::kLemma: return "Lemma";
+  }
+  return "?";
+}
+
+bool IsAxiom(Rule rule) {
+  switch (rule) {
+    case Rule::kReflexivity:
+    case Rule::kPrefix:
+    case Rule::kNormalization:
+    case Rule::kTransitivity:
+    case Rule::kSuffix:
+    case Rule::kChain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace axioms
+}  // namespace od

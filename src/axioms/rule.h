@@ -1,0 +1,49 @@
+#ifndef OD_AXIOMS_RULE_H_
+#define OD_AXIOMS_RULE_H_
+
+namespace od {
+namespace axioms {
+
+/// The inference rules of the paper's axiomatization (Definition 7) plus the
+/// derived theorems of Sections 3.3 and 4.2. Proof steps are tagged with the
+/// rule that justifies them, as in the paper's proof tables.
+enum class Rule {
+  kGiven,           ///< a premise of the derivation
+  // The six axiom schemata OD1–OD6 (Definition 7).
+  kReflexivity,     ///< OD1: XY ↦ X
+  kPrefix,          ///< OD2: X ↦ Y ⊢ ZX ↦ ZY
+  kNormalization,   ///< OD3: TXUXV ↔ TXUV (a repeated list is redundant)
+  kTransitivity,    ///< OD4: X ↦ Y, Y ↦ Z ⊢ X ↦ Z
+  kSuffix,          ///< OD5: X ↦ Y ⊢ X ↔ YX
+  kChain,           ///< OD6: see theorems.h (Chain)
+  // Derived theorems (Section 3.3).
+  kUnion,           ///< Thm 2: X ↦ Y, X ↦ Z ⊢ X ↦ YZ
+  kAugmentation,    ///< Thm 3: X ↦ Y ⊢ XZ ↦ Y
+  kShift,           ///< Thm 4: V ↔ W, X ↦ Y ⊢ VX ↦ WY
+  kDecomposition,   ///< Thm 5: X ↦ YZ ⊢ X ↦ Y
+  kReplace,         ///< Thm 6: X ↔ Y ⊢ ZXV ↔ ZYV
+  kEliminate,       ///< Thm 7: X ↦ Y ⊢ ZXYV ↔ ZXV
+  kLeftEliminate,   ///< Thm 8: X ↦ Y ⊢ ZYXV ↔ ZXV
+  kDrop,            ///< Thm 9: X ↦ UVW, X ↔ U ⊢ X ↦ UW
+  kPath,            ///< Thm 10: X ↦ VT, V ↔ VAB ⊢ X ↦ VAT
+  kPartition,       ///< Thm 11: V ↦ X, V ↦ Y, set(X)=set(Y) ⊢ X ↔ Y
+  kDownwardClosure, ///< Thm 12: X ~ YZ ⊢ X ~ Y
+  kPermutation,     ///< Thm 14: X ↦ Y ⊢ X' ↦ X'Y' (permuted lists)
+  kTheorem15,       ///< Thm 15: X ↦ Y iff X ↦ XY and X ~ Y
+  /// An intermediate lemma step whose fully expanded axiom derivation is
+  /// elided (the paper similarly compresses steps); step-checked
+  /// semantically by the proof checker.
+  kLemma,
+};
+
+/// Human-readable rule name, matching the paper's abbreviations where it has
+/// them (Ref, Pref, Norm, Tran, Suf, Chain, ...).
+const char* RuleName(Rule rule);
+
+/// True for the six axiom schemata OD1–OD6.
+bool IsAxiom(Rule rule);
+
+}  // namespace axioms
+}  // namespace od
+
+#endif  // OD_AXIOMS_RULE_H_

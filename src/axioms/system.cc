@@ -1,0 +1,74 @@
+#include "axioms/system.h"
+
+#include "axioms/theorems.h"
+#include "prover/two_row_model.h"
+
+namespace od {
+namespace axioms {
+
+bool CheckProofSemantically(const Proof& proof, std::string* error) {
+  if (!proof.CheckStructure(error)) return false;
+  for (int i = 0; i < proof.Size(); ++i) {
+    const ProofStep& step = proof.step(i);
+    if (step.rule == Rule::kGiven) continue;
+    DependencySet premises;
+    for (int p : step.premises) premises.Add(proof.step(p).od);
+    const AttributeSet universe =
+        premises.Attributes().Union(step.od.Attributes());
+    if (prover::FindFalsifyingModel(premises, step.od, universe)
+            .has_value()) {
+      if (error != nullptr) {
+        *error = "step " + std::to_string(i + 1) + " (" + step.od.ToString() +
+                 " [" + RuleName(step.rule) +
+                 "]) is not implied by its premises";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Proof ArmstrongReflexivity(const AttributeSet& f, const AttributeSet& g) {
+  // G ⊆ F, so the FD-shaped OD X ↦ XY follows by Normalization alone.
+  const AttributeList x(f.ToVector());
+  const AttributeList y(g.ToVector());
+  return NormExtend(x, y);
+}
+
+Proof ArmstrongAugmentation(const AttributeSet& f, const AttributeSet& g,
+                            const AttributeSet& z) {
+  const AttributeList x(f.ToVector());
+  const AttributeList y(g.ToVector());
+  const AttributeList zl(z.ToVector());
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, x.Concat(y)));  // F → G
+  const AttributeList xz = x.Concat(zl);
+  const int s2 = d.Reflexivity(x, zl);    // XZ ↦ X
+  const int s3 = d.Transitivity(s2, g1);  // XZ ↦ XY
+  const int s4 = d.ReflexivitySelf(xz);   // XZ ↦ XZ
+  const AttributeList xz_xy = xz.Concat(x).Concat(y);
+  const int s5 = d.Step(OrderDependency(xz, xz_xy), Rule::kUnion, {s4, s3});
+  const int s6 = d.Step(OrderDependency(xz, xz.Concat(y)), Rule::kDrop,
+                        {s5, s4, s4});  // XZ ↦ XZY
+  const int s7 = EmitNormExtendFwd(&d, xz.Concat(y), zl);  // XZY ↦ XZYZ
+  d.Transitivity(s6, s7);  // XZ ↦ XZYZ, i.e. FZ → GZ
+  return d.Build();
+}
+
+Proof ArmstrongTransitivity(const AttributeSet& f, const AttributeSet& g,
+                            const AttributeSet& h) {
+  const AttributeList x(f.ToVector());
+  const AttributeList y(g.ToVector());
+  const AttributeList w(h.ToVector());
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, x.Concat(y)));  // F → G
+  const int g2 = d.Given(OrderDependency(y, y.Concat(w)));  // G → H
+  const int s3 = d.Prefix(g2, x);          // XY ↦ XYW
+  const int s4 = d.Transitivity(g1, s3);   // X ↦ XYW
+  const int s5 = d.ReflexivitySelf(x);     // X ↦ X
+  d.Step(OrderDependency(x, x.Concat(w)), Rule::kDrop, {s4, s5, s5});
+  return d.Build();
+}
+
+}  // namespace axioms
+}  // namespace od

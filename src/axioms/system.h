@@ -1,0 +1,39 @@
+#ifndef OD_AXIOMS_SYSTEM_H_
+#define OD_AXIOMS_SYSTEM_H_
+
+#include <string>
+
+#include "axioms/proof.h"
+#include "core/dependency.h"
+#include "fd/fd_set.h"
+
+namespace od {
+namespace axioms {
+
+/// Semantic proof checker: validates that every step of `proof` is logically
+/// implied by its listed premises alone (given steps are accepted as-is;
+/// axiom instantiations must be valid with no premises). Implication is
+/// decided with the exact two-row prover, so a passing check certifies the
+/// derivation is sound step by step — a stronger guarantee than syntactic
+/// pattern matching, and the one the tests rely on.
+///
+/// Returns true iff the proof checks; on failure `error` (if non-null)
+/// names the offending step.
+bool CheckProofSemantically(const Proof& proof, std::string* error = nullptr);
+
+/// Armstrong's axioms for FDs, derived inside the OD system (Theorem 16).
+/// Each returns an OD-level proof of the FD-shaped conclusion:
+///   Reflexivity:  G ⊆ F          ⊢ X ↦ XY        (F → G)
+///   Augmentation: F → G          ⊢ XZ ↦ XZY      (FZ → GZ is implied)
+///   Transitivity: F → G, G → H   ⊢ X ↦ XW        (F → H)
+/// where X, Y, Z, W order F, G, Z-set, H in increasing id order.
+Proof ArmstrongReflexivity(const AttributeSet& f, const AttributeSet& g);
+Proof ArmstrongAugmentation(const AttributeSet& f, const AttributeSet& g,
+                            const AttributeSet& z);
+Proof ArmstrongTransitivity(const AttributeSet& f, const AttributeSet& g,
+                            const AttributeSet& h);
+
+}  // namespace axioms
+}  // namespace od
+
+#endif  // OD_AXIOMS_SYSTEM_H_

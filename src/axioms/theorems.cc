@@ -1,0 +1,333 @@
+#include "axioms/theorems.h"
+
+#include <cassert>
+
+namespace od {
+namespace axioms {
+
+/// Emits steps deriving X ↦ X∘Y by repeated Normalization, where every
+/// attribute of Y already occurs in `x`. Returns the index of the final
+/// step (or of a Reflexivity step, if Y is empty).
+int EmitNormExtendFwd(Derivation* d, const AttributeList& x,
+                      const AttributeList& y) {
+  if (y.IsEmpty()) return d->ReflexivitySelf(x);
+  AttributeList cur = x;
+  int chain = -1;
+  for (int i = 0; i < y.Size(); ++i) {
+    const AttributeId a = y[i];
+    // Locate an earlier occurrence of `a` in the current list.
+    int pos = -1;
+    for (int j = 0; j < cur.Size(); ++j) {
+      if (cur[j] == a) {
+        pos = j;
+        break;
+      }
+    }
+    assert(pos >= 0 && "NormExtend requires set(y) ⊆ set(x)");
+    // Normalization instance T∘[a]∘U∘[a]∘[] ↔ T∘[a]∘U, i.e.
+    // cur∘[a] ↔ cur; the backward direction appends `a`.
+    const AttributeList t = cur.Prefix(pos);
+    const AttributeList rep({a});
+    const AttributeList u = cur.Suffix(pos + 1);
+    const int step = d->NormalizationBwd(t, rep, u, AttributeList());
+    chain = chain < 0 ? step : d->Transitivity(chain, step);
+    cur = cur.Append(a);
+  }
+  return chain;
+}
+
+Proof NormExtend(const AttributeList& x, const AttributeList& y) {
+  assert(y.ToSet().SubsetOf(x.ToSet()));
+  Derivation d;
+  const int fwd = EmitNormExtendFwd(&d, x, y);
+  const int bwd = d.Reflexivity(x, y);  // XY ↦ X
+  d.MarkConclusion(fwd);
+  d.MarkConclusion(bwd);
+  return d.Build();
+}
+
+Proof Union(const AttributeList& x, const AttributeList& y,
+            const AttributeList& z) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int g2 = d.Given(OrderDependency(x, z));
+  const int s3 = d.Prefix(g2, y);    // YX ↦ YZ
+  const int s4 = d.SuffixFwd(g1);    // X ↦ YX
+  d.Transitivity(s4, s3);            // X ↦ YZ
+  return d.Build();
+}
+
+Proof Augmentation(const AttributeList& x, const AttributeList& y,
+                   const AttributeList& z) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int s2 = d.Reflexivity(x, z);  // XZ ↦ X
+  d.Transitivity(s2, g1);              // XZ ↦ Y
+  return d.Build();
+}
+
+Proof Shift(const AttributeList& v, const AttributeList& w,
+            const AttributeList& x, const AttributeList& y) {
+  // Givens: V ↔ W and X ↦ Y; conclusion VX ↦ WY. Mirrors the paper's
+  // Theorem 4 proof: the crux is WX ↔ WVX, obtained by bringing WX back as
+  // its own suffix (OD5) and removing the duplicated W (OD3).
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(v, w));
+  const int g2 = d.Given(OrderDependency(w, v));
+  const int g3 = d.Given(OrderDependency(x, y));
+  const int a1 = d.Reflexivity(w, x);       // WX ↦ W
+  const int a2 = d.Transitivity(a1, g2);    // WX ↦ V   [Aug(1)]
+  const int s4 = d.Prefix(a2, w);           // WWX ↦ WV
+  const int s5 = d.NormalizationBwd(AttributeList(), w, AttributeList(), x);
+  // s5: WX ↦ WWX
+  const int s6 = d.Transitivity(s5, s4);    // WX ↦ WV
+  const int s7 = d.SuffixFwd(s6);           // WX ↦ WVWX
+  const int s8 = d.NormalizationFwd(AttributeList(), w, v, x);
+  // s8: WVWX ↦ WVX
+  d.Transitivity(s7, s8);                   // WX ↦ WVX (unused fwd direction)
+  const int s8b = d.SuffixBwd(s6);          // WVWX ↦ WX
+  const int s8c = d.NormalizationBwd(AttributeList(), w, v, x);
+  // s8c: WVX ↦ WVWX
+  const int s9b = d.Transitivity(s8c, s8b);  // WVX ↦ WX
+  const int b1 = d.Reflexivity(v, x);        // VX ↦ V
+  const int b2 = d.Transitivity(b1, g1);     // VX ↦ W   [Aug(1)]
+  const int s11 = d.SuffixFwd(b2);           // VX ↦ WVX
+  const int s12 = d.Transitivity(s11, s9b);  // VX ↦ WX
+  const int s13 = d.Prefix(g3, w);           // WX ↦ WY
+  d.Transitivity(s12, s13);                  // VX ↦ WY
+  return d.Build();
+}
+
+Proof Decomposition(const AttributeList& x, const AttributeList& y,
+                    const AttributeList& z) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y.Concat(z)));
+  const int s2 = d.Reflexivity(y, z);  // YZ ↦ Y
+  d.Transitivity(g1, s2);              // X ↦ Y
+  return d.Build();
+}
+
+Proof Replace(const AttributeList& z, const AttributeList& x,
+              const AttributeList& y, const AttributeList& v) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int g2 = d.Given(OrderDependency(y, x));
+  const int s3 = d.ReflexivitySelf(v);  // V ↦ V
+  const int s4 = d.Step(OrderDependency(x.Concat(v), y.Concat(v)),
+                        Rule::kShift, {g1, g2, s3});  // XV ↦ YV
+  const int s5 = d.Prefix(s4, z);                     // ZXV ↦ ZYV
+  const int s6 = d.Step(OrderDependency(y.Concat(v), x.Concat(v)),
+                        Rule::kShift, {g2, g1, s3});  // YV ↦ XV
+  const int s7 = d.Prefix(s6, z);                     // ZYV ↦ ZXV
+  d.MarkConclusion(s5);
+  d.MarkConclusion(s7);
+  return d.Build();
+}
+
+Proof Eliminate(const AttributeList& z, const AttributeList& x,
+                const AttributeList& y, const AttributeList& v) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int s2 = d.ReflexivitySelf(x);
+  const int s3 = d.Step(OrderDependency(x, x.Concat(y)), Rule::kUnion,
+                        {s2, g1});    // X ↦ XY
+  const int s4 = d.Reflexivity(x, y);  // XY ↦ X
+  const AttributeList zxyv = z.Concat(x).Concat(y).Concat(v);
+  const AttributeList zxv = z.Concat(x).Concat(v);
+  const int s5 = d.Step(OrderDependency(zxyv, zxv), Rule::kReplace,
+                        {s4, s3});  // ZXYV ↦ ZXV
+  const int s6 = d.Step(OrderDependency(zxv, zxyv), Rule::kReplace,
+                        {s3, s4});  // ZXV ↦ ZXYV
+  d.MarkConclusion(s5);
+  d.MarkConclusion(s6);
+  return d.Build();
+}
+
+Proof LeftEliminate(const AttributeList& z, const AttributeList& y,
+                    const AttributeList& x, const AttributeList& v) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int s2 = d.SuffixFwd(g1);  // X ↦ YX
+  const int s3 = d.SuffixBwd(g1);  // YX ↦ X
+  const AttributeList zyxv = z.Concat(y).Concat(x).Concat(v);
+  const AttributeList zxv = z.Concat(x).Concat(v);
+  const int s4 = d.Step(OrderDependency(zyxv, zxv), Rule::kReplace,
+                        {s3, s2});  // ZYXV ↦ ZXV
+  const int s5 = d.Step(OrderDependency(zxv, zyxv), Rule::kReplace,
+                        {s2, s3});  // ZXV ↦ ZYXV
+  d.MarkConclusion(s4);
+  d.MarkConclusion(s5);
+  return d.Build();
+}
+
+Proof Drop(const AttributeList& x, const AttributeList& u,
+           const AttributeList& v, const AttributeList& w) {
+  Derivation d;
+  const AttributeList uvw = u.Concat(v).Concat(w);
+  const int g1 = d.Given(OrderDependency(x, uvw));
+  const int g2 = d.Given(OrderDependency(x, u));
+  const int g3 = d.Given(OrderDependency(u, x));
+  const AttributeList vw = v.Concat(w);
+  const int s4 = d.Step(OrderDependency(uvw, x.Concat(vw)), Rule::kReplace,
+                        {g3, g2});  // UVW ↦ XVW
+  const int s5 = d.Transitivity(g1, s4);  // X ↦ XVW
+  const int s6 = d.Step(OrderDependency(x, x.Concat(v)), Rule::kDecomposition,
+                        {s5});             // X ↦ XV
+  const int s7 = d.Reflexivity(x, v);      // XV ↦ X
+  const int s8 = d.Step(OrderDependency(x.Concat(vw), x.Concat(w)),
+                        Rule::kReplace, {s7, s6});  // XVW ↦ XW
+  const int s9 = d.Transitivity(s5, s8);            // X ↦ XW
+  const int s10 = d.Step(OrderDependency(x.Concat(w), u.Concat(w)),
+                         Rule::kReplace, {g2, g3});  // XW ↦ UW
+  d.Transitivity(s9, s10);                           // X ↦ UW
+  return d.Build();
+}
+
+Proof Path(const AttributeList& x, const AttributeList& v,
+           const AttributeList& a, const AttributeList& b,
+           const AttributeList& t) {
+  Derivation d;
+  const AttributeList vab = v.Concat(a).Concat(b);
+  const int g1 = d.Given(OrderDependency(x, v.Concat(t)));
+  const int g2 = d.Given(OrderDependency(v, vab));
+  d.Given(OrderDependency(vab, v));  // the unused direction of V ↔ VAB
+  const int s4 = d.Step(OrderDependency(x, v), Rule::kDecomposition, {g1});
+  const int s5 = d.Transitivity(s4, g2);  // X ↦ VAB
+  const int s6 = d.Step(OrderDependency(x, v.Concat(a)),
+                        Rule::kDecomposition, {s5});  // X ↦ VA
+  const AttributeList va_vt = v.Concat(a).Concat(v).Concat(t);
+  const int s7 = d.Step(OrderDependency(x, va_vt), Rule::kUnion,
+                        {s6, g1});  // X ↦ (VA)(VT)
+  const int s8 = d.NormalizationFwd(AttributeList(), v, a, t);
+  // s8: VAVT ↦ VAT
+  d.Transitivity(s7, s8);  // X ↦ VAT
+  return d.Build();
+}
+
+Proof Partition(const AttributeList& v, const AttributeList& x,
+                const AttributeList& y) {
+  assert(x.ToSet() == y.ToSet() && "Partition requires set(X) = set(Y)");
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(v, x));
+  const int g2 = d.Given(OrderDependency(v, y));
+  const AttributeList xy = x.Concat(y);
+  const AttributeList yx = y.Concat(x);
+  const int s3 = d.Step(OrderDependency(v, xy), Rule::kUnion, {g1, g2});
+  const int s4 = d.Step(OrderDependency(v, yx), Rule::kUnion, {g2, g1});
+  const int s5 = d.Lemma(OrderDependency(xy, yx), {s3, s4},
+                         "via Chain (OD6), paper Theorem 11");
+  const int s6 = d.Lemma(OrderDependency(yx, xy), {s4, s3},
+                         "via Chain (OD6), paper Theorem 11");
+  const int s7 = EmitNormExtendFwd(&d, x, y);  // X ↦ XY
+  const int s9 = d.Transitivity(s7, s5);        // X ↦ YX
+  const int s10 = d.Reflexivity(y, x);          // YX ↦ Y
+  const int s11 = d.Transitivity(s9, s10);      // X ↦ Y
+  const int s12 = EmitNormExtendFwd(&d, y, x);  // Y ↦ YX
+  const int s13 = d.Transitivity(s12, s6);       // Y ↦ XY
+  const int s14 = d.Reflexivity(x, y);           // XY ↦ X
+  const int s15 = d.Transitivity(s13, s14);      // Y ↦ X
+  d.MarkConclusion(s11);
+  d.MarkConclusion(s15);
+  return d.Build();
+}
+
+Proof DownwardClosure(const AttributeList& x, const AttributeList& y,
+                      const AttributeList& z) {
+  Derivation d;
+  const AttributeList yz = y.Concat(z);
+  const AttributeList xyz = x.Concat(yz);
+  const AttributeList yzx = yz.Concat(x);
+  const int g1 = d.Given(OrderDependency(xyz, yzx));
+  const int g2 = d.Given(OrderDependency(yzx, xyz));
+  const AttributeList xy = x.Concat(y);
+  const AttributeList yx = y.Concat(x);
+  const int s3 = d.Reflexivity(xy, z);  // XYZ ↦ XY
+  const int s4 = d.Lemma(OrderDependency(xyz, yx), {g1, g2},
+                         "X ~ YZ orders YX; paper Theorem 12 proof");
+  const int s5 = d.Step(OrderDependency(xy, yx), Rule::kPartition, {s3, s4});
+  const int s6 = d.Step(OrderDependency(yx, xy), Rule::kPartition, {s4, s3});
+  d.MarkConclusion(s5);
+  d.MarkConclusion(s6);
+  return d.Build();
+}
+
+Proof Permutation(const AttributeList& x, const AttributeList& y,
+                  const AttributeList& x_perm, const AttributeList& y_perm) {
+  assert(x.IsPermutationOf(x_perm) && y.IsPermutationOf(y_perm));
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int s2 = EmitNormExtendFwd(&d, x_perm, x);  // X' ↦ X'X
+  const int s3 = d.Prefix(g1, x_perm);               // X'X ↦ X'Y
+  const int s4 = d.Transitivity(s2, s3);             // X' ↦ X'Y
+  const AttributeList xpy = x_perm.Concat(y);
+  const int s5 = EmitNormExtendFwd(&d, xpy, y_perm);  // X'Y ↦ X'YY'
+  const int s6 = d.Transitivity(s4, s5);               // X' ↦ X'YY'
+  const int s7 = d.ReflexivitySelf(x_perm);            // X' ↦ X'
+  d.Step(OrderDependency(x_perm, x_perm.Concat(y_perm)), Rule::kDrop,
+         {s6, s7, s7});  // X' ↦ X'Y'
+  return d.Build();
+}
+
+Proof Theorem15Forward(const AttributeList& x, const AttributeList& y) {
+  Derivation d;
+  const int g1 = d.Given(OrderDependency(x, y));
+  const int s2 = d.ReflexivitySelf(x);
+  const int s3 = d.Step(OrderDependency(x, x.Concat(y)), Rule::kUnion,
+                        {s2, g1});   // X ↦ XY
+  const int s4 = d.SuffixFwd(g1);    // X ↦ YX
+  const int s5 = d.SuffixBwd(g1);    // YX ↦ X
+  const int s6 = d.Reflexivity(x, y);        // XY ↦ X
+  const int s7 = d.Transitivity(s6, s4);     // XY ↦ YX
+  const int s8 = d.Transitivity(s5, s3);     // YX ↦ XY
+  d.MarkConclusion(s3);
+  d.MarkConclusion(s7);
+  d.MarkConclusion(s8);
+  return d.Build();
+}
+
+Proof Theorem15Backward(const AttributeList& x, const AttributeList& y) {
+  Derivation d;
+  const AttributeList xy = x.Concat(y);
+  const AttributeList yx = y.Concat(x);
+  const int g1 = d.Given(OrderDependency(x, xy));
+  const int g2 = d.Given(OrderDependency(xy, yx));
+  d.Given(OrderDependency(yx, xy));  // unused direction of X ~ Y
+  const int s4 = d.Transitivity(g1, g2);  // X ↦ YX
+  const int s5 = d.Reflexivity(y, x);     // YX ↦ Y
+  d.Transitivity(s4, s5);                 // X ↦ Y
+  return d.Build();
+}
+
+std::vector<OrderDependency> ChainPremises(
+    const AttributeList& x, const std::vector<AttributeList>& ys,
+    const AttributeList& z) {
+  assert(!ys.empty());
+  std::vector<OrderDependency> out;
+  auto add_compat = [&out](const AttributeList& a, const AttributeList& b) {
+    for (auto& dep : Compatibility(a, b)) out.push_back(std::move(dep));
+  };
+  add_compat(x, ys.front());
+  for (size_t i = 0; i + 1 < ys.size(); ++i) add_compat(ys[i], ys[i + 1]);
+  add_compat(ys.back(), z);
+  for (const auto& yi : ys) add_compat(yi.Concat(x), yi.Concat(z));
+  return out;
+}
+
+Proof Chain(const AttributeList& x, const std::vector<AttributeList>& ys,
+            const AttributeList& z) {
+  Derivation d;
+  std::vector<int> givens;
+  for (const auto& dep : ChainPremises(x, ys, z)) {
+    givens.push_back(d.Given(dep));
+  }
+  const AttributeList xz = x.Concat(z);
+  const AttributeList zx = z.Concat(x);
+  const int c1 = d.Step(OrderDependency(xz, zx), Rule::kChain, givens);
+  const int c2 = d.Step(OrderDependency(zx, xz), Rule::kChain, givens);
+  d.MarkConclusion(c1);
+  d.MarkConclusion(c2);
+  return d.Build();
+}
+
+}  // namespace axioms
+}  // namespace od

@@ -1,0 +1,110 @@
+#ifndef OD_AXIOMS_THEOREMS_H_
+#define OD_AXIOMS_THEOREMS_H_
+
+#include <vector>
+
+#include "axioms/proof.h"
+#include "core/dependency.h"
+
+namespace od {
+namespace axioms {
+
+/// Mechanical derivations of the paper's derived theorems (Section 3.3 and
+/// Section 4.2). Each function returns a `Proof` whose `Given` steps are the
+/// theorem's premises and whose final step (or final pair, for ↔ and ~
+/// conclusions) is the theorem's conclusion. The derivations compose the six
+/// axioms — and previously established theorems, exactly as the paper's
+/// proof tables do — so printing the proof reproduces a paper-style
+/// derivation. Tests validate every step semantically with the two-row
+/// prover.
+
+/// Helper used by several theorems: X ↔ X∘Y whenever set(Y) ⊆ set(X),
+/// by repeated Normalization (every attribute of Y re-occurs).
+/// Returns a proof ending with steps [X ↦ XY, XY ↦ X].
+Proof NormExtend(const AttributeList& x, const AttributeList& y);
+
+/// Emits the forward half of NormExtend (X ↦ X∘Y, set(Y) ⊆ set(X)) into an
+/// ongoing derivation; returns the concluding step index.
+int EmitNormExtendFwd(Derivation* d, const AttributeList& x,
+                      const AttributeList& y);
+
+/// Theorem 2 (Union): X ↦ Y, X ↦ Z ⊢ X ↦ YZ.
+Proof Union(const AttributeList& x, const AttributeList& y,
+            const AttributeList& z);
+
+/// Theorem 3 (Augmentation): X ↦ Y ⊢ XZ ↦ Y.
+Proof Augmentation(const AttributeList& x, const AttributeList& y,
+                   const AttributeList& z);
+
+/// Theorem 4 (Shift): V ↔ W, X ↦ Y ⊢ VX ↦ WY.
+Proof Shift(const AttributeList& v, const AttributeList& w,
+            const AttributeList& x, const AttributeList& y);
+
+/// Theorem 5 (Decomposition): X ↦ YZ ⊢ X ↦ Y.
+Proof Decomposition(const AttributeList& x, const AttributeList& y,
+                    const AttributeList& z);
+
+/// Theorem 6 (Replace): X ↔ Y ⊢ ZXV ↔ ZYV.
+/// Final pair: [ZXV ↦ ZYV, ZYV ↦ ZXV].
+Proof Replace(const AttributeList& z, const AttributeList& x,
+              const AttributeList& y, const AttributeList& v);
+
+/// Theorem 7 (Eliminate): X ↦ Y ⊢ ZXYV ↔ ZXV.
+/// With Z = [year], X = [month], Y = [quarter]: an order-by
+/// year, month, quarter reduces to year, month.
+Proof Eliminate(const AttributeList& z, const AttributeList& x,
+                const AttributeList& y, const AttributeList& v);
+
+/// Theorem 8 (Left Eliminate): X ↦ Y ⊢ ZYXV ↔ ZXV.
+/// This is the Example 1 rewrite: with Z = [year], Y = [quarter],
+/// X = [month], the order-by year, quarter, month reduces to year, month.
+Proof LeftEliminate(const AttributeList& z, const AttributeList& y,
+                    const AttributeList& x, const AttributeList& v);
+
+/// Theorem 9 (Drop): X ↦ UVW, X ↔ U ⊢ X ↦ UW.
+Proof Drop(const AttributeList& x, const AttributeList& u,
+           const AttributeList& v, const AttributeList& w);
+
+/// Theorem 10 (Path): X ↦ VT, V ↔ VAB ⊢ X ↦ VAT.
+/// Lets a left-hand side walk down an equivalent hierarchy path (Example 4:
+/// date hierarchies of Figure 2).
+Proof Path(const AttributeList& x, const AttributeList& v,
+           const AttributeList& a, const AttributeList& b,
+           const AttributeList& t);
+
+/// Theorem 11 (Partition): V ↦ X, V ↦ Y, set(X) = set(Y) ⊢ X ↔ Y.
+Proof Partition(const AttributeList& v, const AttributeList& x,
+                const AttributeList& y);
+
+/// Theorem 12 (Downward Closure): X ~ YZ ⊢ X ~ Y.
+/// Final pair is the compatibility pair [XY ↦ YX, YX ↦ XY].
+Proof DownwardClosure(const AttributeList& x, const AttributeList& y,
+                      const AttributeList& z);
+
+/// Theorem 14 (Permutation): X ↦ Y ⊢ X' ↦ X'Y' for any permutations X' of X
+/// and Y' of Y. (The FD-shaped consequence of an OD is permutation
+/// invariant — Theorem 13.)
+Proof Permutation(const AttributeList& x, const AttributeList& y,
+                  const AttributeList& x_perm, const AttributeList& y_perm);
+
+/// Theorem 15, forward: X ↦ Y ⊢ X ↦ XY, X ~ Y.
+/// Final steps: [X ↦ XY, XY ↦ YX, YX ↦ XY].
+Proof Theorem15Forward(const AttributeList& x, const AttributeList& y);
+
+/// Theorem 15, backward: X ↦ XY, X ~ Y ⊢ X ↦ Y.
+Proof Theorem15Backward(const AttributeList& x, const AttributeList& y);
+
+/// OD6 (Chain) instantiation. Premise set for
+///   X ~ Y₁, Yᵢ ~ Yᵢ₊₁, Yₙ ~ Z, and YᵢX ~ YᵢZ for all i,
+/// conclusion X ~ Z. Returns the proof; `ChainPremises` lists the ODs a
+/// caller must establish (each ~ expands into two ODs).
+std::vector<OrderDependency> ChainPremises(
+    const AttributeList& x, const std::vector<AttributeList>& ys,
+    const AttributeList& z);
+Proof Chain(const AttributeList& x, const std::vector<AttributeList>& ys,
+            const AttributeList& z);
+
+}  // namespace axioms
+}  // namespace od
+
+#endif  // OD_AXIOMS_THEOREMS_H_

@@ -1,0 +1,183 @@
+#include "core/attribute.h"
+
+#include <algorithm>
+
+namespace od {
+
+AttributeSet AttributeSet::FirstN(int n) {
+  if (n >= 64) return AttributeSet(~uint64_t{0});
+  return AttributeSet((uint64_t{1} << n) - 1);
+}
+
+std::vector<AttributeId> AttributeSet::ToVector() const {
+  std::vector<AttributeId> out;
+  out.reserve(Size());
+  for (AttributeId a = 0; a < kMaxAttributes; ++a) {
+    if (Contains(a)) out.push_back(a);
+  }
+  return out;
+}
+
+AttributeList AttributeList::Tail() const {
+  return Suffix(1);
+}
+
+AttributeList AttributeList::Concat(const AttributeList& other) const {
+  std::vector<AttributeId> out = attrs_;
+  out.insert(out.end(), other.attrs_.begin(), other.attrs_.end());
+  return AttributeList(std::move(out));
+}
+
+AttributeList AttributeList::Append(AttributeId a) const {
+  std::vector<AttributeId> out = attrs_;
+  out.push_back(a);
+  return AttributeList(std::move(out));
+}
+
+AttributeList AttributeList::Prepend(AttributeId a) const {
+  std::vector<AttributeId> out;
+  out.reserve(attrs_.size() + 1);
+  out.push_back(a);
+  out.insert(out.end(), attrs_.begin(), attrs_.end());
+  return AttributeList(std::move(out));
+}
+
+AttributeList AttributeList::Prefix(int n) const {
+  if (n >= Size()) return *this;
+  if (n <= 0) return AttributeList();
+  return AttributeList(std::vector<AttributeId>(attrs_.begin(),
+                                                attrs_.begin() + n));
+}
+
+AttributeList AttributeList::Suffix(int from) const {
+  if (from <= 0) return *this;
+  if (from >= Size()) return AttributeList();
+  return AttributeList(std::vector<AttributeId>(attrs_.begin() + from,
+                                                attrs_.end()));
+}
+
+bool AttributeList::IsPrefixOf(const AttributeList& other) const {
+  if (Size() > other.Size()) return false;
+  return std::equal(attrs_.begin(), attrs_.end(), other.attrs_.begin());
+}
+
+bool AttributeList::Contains(AttributeId a) const {
+  return std::find(attrs_.begin(), attrs_.end(), a) != attrs_.end();
+}
+
+AttributeSet AttributeList::ToSet() const {
+  AttributeSet s;
+  for (AttributeId a : attrs_) s.Add(a);
+  return s;
+}
+
+AttributeList AttributeList::RemoveDuplicates() const {
+  AttributeSet seen;
+  std::vector<AttributeId> out;
+  out.reserve(attrs_.size());
+  for (AttributeId a : attrs_) {
+    if (!seen.Contains(a)) {
+      seen.Add(a);
+      out.push_back(a);
+    }
+  }
+  return AttributeList(std::move(out));
+}
+
+AttributeList AttributeList::RemoveAttributes(const AttributeSet& s) const {
+  std::vector<AttributeId> out;
+  out.reserve(attrs_.size());
+  for (AttributeId a : attrs_) {
+    if (!s.Contains(a)) out.push_back(a);
+  }
+  return AttributeList(std::move(out));
+}
+
+bool AttributeList::IsPermutationOf(const AttributeList& other) const {
+  if (Size() != other.Size()) return false;
+  std::vector<AttributeId> a = attrs_;
+  std::vector<AttributeId> b = other.attrs_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+NameTable::NameTable(const std::vector<std::string>& names) : names_(names) {}
+
+AttributeId NameTable::Intern(const std::string& name) {
+  AttributeId id = Lookup(name);
+  if (id >= 0) return id;
+  names_.push_back(name);
+  return static_cast<AttributeId>(names_.size()) - 1;
+}
+
+AttributeId NameTable::Lookup(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<AttributeId>(i);
+  }
+  return -1;
+}
+
+std::string NameTable::Name(AttributeId id) const {
+  if (id >= 0 && id < static_cast<AttributeId>(names_.size())) {
+    return names_[id];
+  }
+  return "#" + std::to_string(id);
+}
+
+std::string NameTable::Format(const AttributeList& list) const {
+  std::string out = "[";
+  for (int i = 0; i < list.Size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Name(list[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string NameTable::Format(const AttributeSet& set) const {
+  std::string out = "{";
+  bool first = true;
+  for (AttributeId a : set.ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += Name(a);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::string DefaultName(AttributeId a) {
+  // Single letters A..Z for the first 26 ids, then A1, B1, ...
+  std::string name(1, static_cast<char>('A' + (a % 26)));
+  if (a >= 26) name += std::to_string(a / 26);
+  return name;
+}
+
+}  // namespace
+
+std::string ToString(const AttributeList& list) {
+  std::string out = "[";
+  for (int i = 0; i < list.Size(); ++i) {
+    if (i > 0) out += ", ";
+    out += DefaultName(list[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ToString(const AttributeSet& set) {
+  std::string out = "{";
+  bool first = true;
+  for (AttributeId a : set.ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += DefaultName(a);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace od

@@ -1,0 +1,180 @@
+#ifndef OD_CORE_ATTRIBUTE_H_
+#define OD_CORE_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace od {
+
+/// Identifier of an attribute (a column of a relation schema).
+///
+/// The theory modules (axioms, prover, armstrong) treat attributes as opaque
+/// small integers; `NameTable` maps them to and from human-readable names.
+using AttributeId = int32_t;
+
+/// Maximum number of distinct attributes supported by the theory modules.
+/// `AttributeSet` is a 64-bit bitset, which is far beyond what the
+/// exponential parts of OD reasoning can handle anyway.
+inline constexpr int kMaxAttributes = 64;
+
+/// A set of attributes (unordered), as used on either side of a functional
+/// dependency and for context computations in the completeness construction.
+///
+/// Implemented as a 64-bit bitset: cheap to copy, hash, and intersect.
+class AttributeSet {
+ public:
+  constexpr AttributeSet() : bits_(0) {}
+  constexpr explicit AttributeSet(uint64_t bits) : bits_(bits) {}
+  AttributeSet(std::initializer_list<AttributeId> attrs) : bits_(0) {
+    for (AttributeId a : attrs) Add(a);
+  }
+
+  static constexpr AttributeSet Empty() { return AttributeSet(); }
+  /// Returns the set {0, 1, ..., n - 1}.
+  static AttributeSet FirstN(int n);
+
+  void Add(AttributeId a) { bits_ |= Bit(a); }
+  void Remove(AttributeId a) { bits_ &= ~Bit(a); }
+  bool Contains(AttributeId a) const { return (bits_ & Bit(a)) != 0; }
+  bool Empty_() const { return bits_ == 0; }
+  bool IsEmpty() const { return bits_ == 0; }
+  int Size() const { return __builtin_popcountll(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  bool SubsetOf(const AttributeSet& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  bool ProperSubsetOf(const AttributeSet& other) const {
+    return SubsetOf(other) && bits_ != other.bits_;
+  }
+  bool Intersects(const AttributeSet& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  AttributeSet Union(const AttributeSet& other) const {
+    return AttributeSet(bits_ | other.bits_);
+  }
+  AttributeSet Intersect(const AttributeSet& other) const {
+    return AttributeSet(bits_ & other.bits_);
+  }
+  AttributeSet Minus(const AttributeSet& other) const {
+    return AttributeSet(bits_ & ~other.bits_);
+  }
+
+  /// Returns the member attributes in increasing id order.
+  std::vector<AttributeId> ToVector() const;
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const AttributeSet& a, const AttributeSet& b) {
+    return a.bits_ != b.bits_;
+  }
+  friend bool operator<(const AttributeSet& a, const AttributeSet& b) {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  static constexpr uint64_t Bit(AttributeId a) { return uint64_t{1} << a; }
+  uint64_t bits_;
+};
+
+/// An ordered list of attributes, the fundamental object of order-dependency
+/// theory (Definition 4 of the paper uses *lists*, not sets, on both sides of
+/// an OD). Lists may contain repeated attributes; Normalization (OD3) shows
+/// repetitions are logically redundant but they are syntactically allowed.
+class AttributeList {
+ public:
+  AttributeList() = default;
+  explicit AttributeList(std::vector<AttributeId> attrs)
+      : attrs_(std::move(attrs)) {}
+  AttributeList(std::initializer_list<AttributeId> attrs) : attrs_(attrs) {}
+
+  static AttributeList EmptyList() { return AttributeList(); }
+
+  int Size() const { return static_cast<int>(attrs_.size()); }
+  bool IsEmpty() const { return attrs_.empty(); }
+  AttributeId operator[](int i) const { return attrs_[i]; }
+  const std::vector<AttributeId>& attrs() const { return attrs_; }
+
+  /// List head ([A | T] notation of the paper).
+  AttributeId Head() const { return attrs_.front(); }
+  /// List tail: the list with the first element removed.
+  AttributeList Tail() const;
+
+  /// Concatenation (written by proximity in the paper: XY is X ∘ Y).
+  AttributeList Concat(const AttributeList& other) const;
+  /// Appends a single attribute (XA).
+  AttributeList Append(AttributeId a) const;
+  /// Prepends a single attribute (AX).
+  AttributeList Prepend(AttributeId a) const;
+
+  /// Returns the first `n` attributes.
+  AttributeList Prefix(int n) const;
+  /// Returns the suffix starting at position `from`.
+  AttributeList Suffix(int from) const;
+  /// True iff this list is a prefix of `other`.
+  bool IsPrefixOf(const AttributeList& other) const;
+
+  bool Contains(AttributeId a) const;
+  /// The set of attributes mentioned (set(X) in the paper).
+  AttributeSet ToSet() const;
+
+  /// Removes attributes that already occurred earlier in the list. By OD3
+  /// (Normalization) the result is order-equivalent to the original.
+  AttributeList RemoveDuplicates() const;
+
+  /// Removes every occurrence of the attributes in `s`. Used when projecting
+  /// out constant attributes in the completeness construction (Lemma 8).
+  AttributeList RemoveAttributes(const AttributeSet& s) const;
+
+  /// True iff `other` is a permutation of this list (same multiset).
+  bool IsPermutationOf(const AttributeList& other) const;
+
+  friend bool operator==(const AttributeList& a, const AttributeList& b) {
+    return a.attrs_ == b.attrs_;
+  }
+  friend bool operator!=(const AttributeList& a, const AttributeList& b) {
+    return a.attrs_ != b.attrs_;
+  }
+  friend bool operator<(const AttributeList& a, const AttributeList& b) {
+    return a.attrs_ < b.attrs_;
+  }
+
+ private:
+  std::vector<AttributeId> attrs_;
+};
+
+/// Bidirectional mapping between attribute ids and names, used by the parser,
+/// printers, tests, and the engine-to-theory binding in the optimizer.
+class NameTable {
+ public:
+  NameTable() = default;
+  /// Convenience: registers `names` with ids 0, 1, 2, ...
+  explicit NameTable(const std::vector<std::string>& names);
+
+  /// Returns the id of `name`, registering it if necessary.
+  AttributeId Intern(const std::string& name);
+  /// Returns the id of `name` or -1 if not registered.
+  AttributeId Lookup(const std::string& name) const;
+  /// Returns the name of `id`; ids never registered print as "#<id>".
+  std::string Name(AttributeId id) const;
+
+  int Size() const { return static_cast<int>(names_.size()); }
+
+  std::string Format(const AttributeList& list) const;
+  std::string Format(const AttributeSet& set) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Formats a list with single-letter placeholder names: [A, B, C].
+std::string ToString(const AttributeList& list);
+std::string ToString(const AttributeSet& set);
+
+}  // namespace od
+
+#endif  // OD_CORE_ATTRIBUTE_H_

@@ -1,0 +1,95 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+
+namespace od {
+
+std::string OrderDependency::ToString() const {
+  return od::ToString(lhs) + " -> " + od::ToString(rhs);
+}
+
+std::string OrderDependency::ToString(const NameTable& names) const {
+  return names.Format(lhs) + " -> " + names.Format(rhs);
+}
+
+std::vector<OrderDependency> Equivalence(const AttributeList& x,
+                                         const AttributeList& y) {
+  return {OrderDependency(x, y), OrderDependency(y, x)};
+}
+
+std::vector<OrderDependency> Compatibility(const AttributeList& x,
+                                           const AttributeList& y) {
+  return Equivalence(x.Concat(y), y.Concat(x));
+}
+
+void DependencySet::AddEquivalence(const AttributeList& x,
+                                   const AttributeList& y) {
+  for (auto& d : Equivalence(x, y)) Add(std::move(d));
+}
+
+void DependencySet::AddCompatibility(const AttributeList& x,
+                                     const AttributeList& y) {
+  for (auto& d : Compatibility(x, y)) Add(std::move(d));
+}
+
+void DependencySet::AddConstant(AttributeId a) {
+  Add(AttributeList::EmptyList(), AttributeList({a}));
+}
+
+bool DependencySet::Contains(const OrderDependency& od) const {
+  return std::find(ods_.begin(), ods_.end(), od) != ods_.end();
+}
+
+AttributeSet DependencySet::Attributes() const {
+  AttributeSet out;
+  for (const auto& d : ods_) out = out.Union(d.Attributes());
+  return out;
+}
+
+DependencySet DependencySet::ProjectOut(const AttributeSet& s) const {
+  DependencySet out;
+  for (const auto& d : ods_) {
+    OrderDependency nd(d.lhs.RemoveAttributes(s), d.rhs.RemoveAttributes(s));
+    if (nd.lhs.IsEmpty() && nd.rhs.IsEmpty()) continue;
+    out.Add(std::move(nd));
+  }
+  return out;
+}
+
+DependencySet DependencySet::Renumber(
+    const std::vector<AttributeId>& old_to_new) const {
+  auto map_list = [&](const AttributeList& l) {
+    std::vector<AttributeId> out;
+    out.reserve(l.Size());
+    for (int i = 0; i < l.Size(); ++i) {
+      const AttributeId n = old_to_new[l[i]];
+      if (n >= 0) out.push_back(n);
+    }
+    return AttributeList(std::move(out));
+  };
+  DependencySet out;
+  for (const auto& d : ods_) {
+    out.Add(OrderDependency(map_list(d.lhs), map_list(d.rhs)));
+  }
+  return out;
+}
+
+std::string DependencySet::ToString() const {
+  std::string out;
+  for (const auto& d : ods_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string DependencySet::ToString(const NameTable& names) const {
+  std::string out;
+  for (const auto& d : ods_) {
+    out += d.ToString(names);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace od

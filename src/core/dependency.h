@@ -1,0 +1,105 @@
+#ifndef OD_CORE_DEPENDENCY_H_
+#define OD_CORE_DEPENDENCY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/attribute.h"
+
+namespace od {
+
+/// An order dependency X ↦ Y (Definition 4): in every instance, for every
+/// pair of tuples s, t, s ≼_X t implies s ≼_Y t. Read "X orders Y".
+struct OrderDependency {
+  AttributeList lhs;
+  AttributeList rhs;
+
+  OrderDependency() = default;
+  OrderDependency(AttributeList l, AttributeList r)
+      : lhs(std::move(l)), rhs(std::move(r)) {}
+
+  /// The reversed statement Y ↦ X.
+  OrderDependency Converse() const { return OrderDependency(rhs, lhs); }
+
+  /// The set of attributes mentioned on either side.
+  AttributeSet Attributes() const { return lhs.ToSet().Union(rhs.ToSet()); }
+
+  /// True for X ↦ [] — satisfied by every instance.
+  bool HasEmptyRhs() const { return rhs.IsEmpty(); }
+
+  /// X ↦ XY is the "FD-shaped" OD (Theorem 13): it holds iff the functional
+  /// dependency set(X) → set(Y) holds and never constrains order beyond X.
+  bool IsFdShaped() const { return lhs.IsPrefixOf(rhs); }
+
+  std::string ToString() const;
+  std::string ToString(const NameTable& names) const;
+
+  friend bool operator==(const OrderDependency& a, const OrderDependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  friend bool operator!=(const OrderDependency& a, const OrderDependency& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const OrderDependency& a, const OrderDependency& b) {
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  }
+};
+
+/// Builds the two ODs whose conjunction is the order equivalence X ↔ Y
+/// (X ↦ Y and Y ↦ X).
+std::vector<OrderDependency> Equivalence(const AttributeList& x,
+                                         const AttributeList& y);
+
+/// Builds the two ODs whose conjunction is order compatibility X ~ Y
+/// (Definition 5): XY ↔ YX.
+std::vector<OrderDependency> Compatibility(const AttributeList& x,
+                                           const AttributeList& y);
+
+/// A set ℳ of prescribed order dependencies (integrity constraints).
+class DependencySet {
+ public:
+  DependencySet() = default;
+  explicit DependencySet(std::vector<OrderDependency> ods)
+      : ods_(std::move(ods)) {}
+
+  void Add(OrderDependency od) { ods_.push_back(std::move(od)); }
+  void Add(const AttributeList& lhs, const AttributeList& rhs) {
+    ods_.emplace_back(lhs, rhs);
+  }
+  /// Adds both directions of X ↔ Y.
+  void AddEquivalence(const AttributeList& x, const AttributeList& y);
+  /// Adds both directions of X ~ Y (XY ↔ YX).
+  void AddCompatibility(const AttributeList& x, const AttributeList& y);
+  /// Adds [] ↦ [a]: attribute `a` is constant (Definition 18).
+  void AddConstant(AttributeId a);
+
+  int Size() const { return static_cast<int>(ods_.size()); }
+  bool IsEmpty() const { return ods_.empty(); }
+  const OrderDependency& operator[](int i) const { return ods_[i]; }
+  const std::vector<OrderDependency>& ods() const { return ods_; }
+
+  bool Contains(const OrderDependency& od) const;
+
+  /// All attributes mentioned by any OD in the set.
+  AttributeSet Attributes() const;
+
+  /// Returns the set with every occurrence of the attributes in `s` removed
+  /// from every OD ("projecting out", Lemma 8 / Section 4.1). ODs that
+  /// become [] ↦ [] are dropped.
+  DependencySet ProjectOut(const AttributeSet& s) const;
+
+  /// Renumbers attributes via old-id → new-id `mapping` (-1 drops).
+  DependencySet Renumber(const std::vector<AttributeId>& old_to_new) const;
+
+  std::string ToString() const;
+  std::string ToString(const NameTable& names) const;
+
+ private:
+  std::vector<OrderDependency> ods_;
+};
+
+}  // namespace od
+
+#endif  // OD_CORE_DEPENDENCY_H_

@@ -1,0 +1,27 @@
+#include "core/lex_order.h"
+
+namespace od {
+
+int CompareOnList(const Relation& r, int s, int t, const AttributeList& x) {
+  // Iterative form of the paper's recursive Definition 1: the first
+  // attribute on which the tuples differ decides.
+  for (int i = 0; i < x.Size(); ++i) {
+    const int c = r.At(s, x[i]).Compare(r.At(t, x[i]));
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool LexLeq(const Relation& r, int s, int t, const AttributeList& x) {
+  return CompareOnList(r, s, t, x) <= 0;
+}
+
+bool LexLess(const Relation& r, int s, int t, const AttributeList& x) {
+  return CompareOnList(r, s, t, x) < 0;
+}
+
+bool LexEq(const Relation& r, int s, int t, const AttributeList& x) {
+  return CompareOnList(r, s, t, x) == 0;
+}
+
+}  // namespace od

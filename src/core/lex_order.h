@@ -1,0 +1,35 @@
+#ifndef OD_CORE_LEX_ORDER_H_
+#define OD_CORE_LEX_ORDER_H_
+
+#include "core/attribute.h"
+#include "core/relation.h"
+
+namespace od {
+
+/// Lexicographic comparison operators over tuple projections — Definitions
+/// 1–3 of the paper.
+///
+/// For tuples s, t and attribute list X:
+///   s ≼_X t   (operator ≼, Definition 1): recursively, with X = [A | T],
+///             s ≼_X t if s.A < t.A, or s.A = t.A and (T = [] or s ≼_T t).
+///   s ≺_X t   iff s ≼_X t and not t ≼_X s (Definition 2).
+///   s =_X t   iff s ≼_X t and t ≼_X s (Definition 3).
+///
+/// All comparisons here are ascending, as in the paper (SQL's default); the
+/// paper explicitly defers descending/mixed directions to follow-on work.
+
+/// Three-way comparison of rows `s` and `t` of `r` on list `x`:
+/// negative if s ≺_X t, zero if s =_X t, positive if t ≺_X s.
+/// The empty list compares all tuples equal (s =_[] t for all s, t).
+int CompareOnList(const Relation& r, int s, int t, const AttributeList& x);
+
+/// s ≼_X t.
+bool LexLeq(const Relation& r, int s, int t, const AttributeList& x);
+/// s ≺_X t.
+bool LexLess(const Relation& r, int s, int t, const AttributeList& x);
+/// s =_X t.
+bool LexEq(const Relation& r, int s, int t, const AttributeList& x);
+
+}  // namespace od
+
+#endif  // OD_CORE_LEX_ORDER_H_

@@ -1,0 +1,156 @@
+#include "core/parser.h"
+
+#include <cctype>
+
+namespace od {
+
+namespace {
+
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos >= text.size();
+  }
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos;
+    return true;
+  }
+  bool ConsumeWord(const char* w) {
+    SkipSpace();
+    size_t p = pos;
+    for (const char* q = w; *q != '\0'; ++q, ++p) {
+      if (p >= text.size() || text[p] != *q) return false;
+    }
+    pos = p;
+    return true;
+  }
+  std::optional<std::string> ConsumeName() {
+    SkipSpace();
+    if (pos >= text.size()) return std::nullopt;
+    const char c = text[pos];
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') {
+      return std::nullopt;
+    }
+    size_t start = pos;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(d)) || d == '_') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    return text.substr(start, pos - start);
+  }
+};
+
+}  // namespace
+
+std::optional<AttributeList> Parser::ParseList(const std::string& text) {
+  Cursor c{text};
+  std::vector<AttributeId> attrs;
+  if (c.Consume('[')) {
+    if (!c.Consume(']')) {
+      while (true) {
+        auto name = c.ConsumeName();
+        if (!name) {
+          error_ = "expected attribute name in list: " + text;
+          return std::nullopt;
+        }
+        attrs.push_back(names_->Intern(*name));
+        if (c.Consume(']')) break;
+        if (!c.Consume(',')) {
+          error_ = "expected ',' or ']' in list: " + text;
+          return std::nullopt;
+        }
+      }
+    }
+  } else {
+    while (auto name = c.ConsumeName()) {
+      attrs.push_back(names_->Intern(*name));
+    }
+  }
+  if (!c.AtEnd()) {
+    error_ = "trailing characters in list: " + text;
+    return std::nullopt;
+  }
+  return AttributeList(std::move(attrs));
+}
+
+std::optional<std::vector<OrderDependency>> Parser::ParseStatement(
+    const std::string& text) {
+  // Find the connective at the top level. '<->' must be checked before '->'.
+  enum class Kind { kArrow, kEquiv, kCompat };
+  struct Connective {
+    const char* token;
+    Kind kind;
+  };
+  static constexpr Connective kConnectives[] = {
+      {"<->", Kind::kEquiv},
+      {"->", Kind::kArrow},
+      {"~", Kind::kCompat},
+  };
+  for (const auto& conn : kConnectives) {
+    const size_t where = text.find(conn.token);
+    if (where == std::string::npos) continue;
+    const std::string left = text.substr(0, where);
+    const std::string right =
+        text.substr(where + std::string(conn.token).size());
+    auto lhs = ParseList(left);
+    if (!lhs) return std::nullopt;
+    auto rhs = ParseList(right);
+    if (!rhs) return std::nullopt;
+    switch (conn.kind) {
+      case Kind::kArrow:
+        return std::vector<OrderDependency>{OrderDependency(*lhs, *rhs)};
+      case Kind::kEquiv:
+        return Equivalence(*lhs, *rhs);
+      case Kind::kCompat:
+        return Compatibility(*lhs, *rhs);
+    }
+  }
+  error_ = "no connective ('->', '<->', '~') in statement: " + text;
+  return std::nullopt;
+}
+
+std::optional<DependencySet> Parser::ParseSet(const std::string& text) {
+  DependencySet out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find_first_of(";\n", start);
+    if (end == std::string::npos) end = text.size();
+    std::string stmt = text.substr(start, end - start);
+    // Skip blank segments.
+    bool blank = true;
+    for (char c : stmt) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      auto ods = ParseStatement(stmt);
+      if (!ods) return std::nullopt;
+      for (auto& d : *ods) out.Add(std::move(d));
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace od

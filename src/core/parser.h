@@ -1,0 +1,47 @@
+#ifndef OD_CORE_PARSER_H_
+#define OD_CORE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace od {
+
+/// A small recursive-descent parser for the paper's OD notation, used by
+/// tests, examples, and the theorem-explorer example. Grammar (whitespace
+/// insensitive; attribute names are [A-Za-z_][A-Za-z0-9_]*):
+///
+///   list  := '[' ']' | '[' name (',' name)* ']' | name+
+///   stmt  := list '->' list        an OD X ↦ Y
+///          | list '<->' list       X ↔ Y (expands to two ODs)
+///          | list '~' list         X ~ Y (expands to XY ↔ YX)
+///
+/// Attribute names are interned in the supplied NameTable so that ids are
+/// stable across multiple Parse calls.
+class Parser {
+ public:
+  explicit Parser(NameTable* names) : names_(names) {}
+
+  /// Parses a single attribute list, e.g. "[year, month]" or "A B C".
+  std::optional<AttributeList> ParseList(const std::string& text);
+
+  /// Parses one statement; returns the one or two ODs it denotes.
+  std::optional<std::vector<OrderDependency>> ParseStatement(
+      const std::string& text);
+
+  /// Parses a ';' or newline separated sequence of statements into a set ℳ.
+  std::optional<DependencySet> ParseSet(const std::string& text);
+
+  /// Last error message, if any Parse* returned nullopt.
+  const std::string& error() const { return error_; }
+
+ private:
+  NameTable* names_;
+  std::string error_;
+};
+
+}  // namespace od
+
+#endif  // OD_CORE_PARSER_H_

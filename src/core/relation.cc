@@ -1,0 +1,56 @@
+#include "core/relation.h"
+
+#include <cassert>
+
+namespace od {
+
+Relation Relation::FromInts(const std::vector<std::vector<int64_t>>& rows) {
+  Relation r(rows.empty() ? 0 : static_cast<int>(rows[0].size()));
+  for (const auto& row : rows) r.AddIntRow(row);
+  return r;
+}
+
+void Relation::AddRow(std::vector<Value> row) {
+  assert(static_cast<int>(row.size()) == num_attributes_);
+  rows_.push_back(std::move(row));
+}
+
+void Relation::AddIntRow(const std::vector<int64_t>& row) {
+  std::vector<Value> vals;
+  vals.reserve(row.size());
+  for (int64_t v : row) vals.emplace_back(v);
+  AddRow(std::move(vals));
+}
+
+Relation Relation::Project(const AttributeSet& keep,
+                           std::vector<AttributeId>* mapping) const {
+  std::vector<AttributeId> kept = keep.ToVector();
+  if (mapping != nullptr) *mapping = kept;
+  Relation out(static_cast<int>(kept.size()));
+  for (const auto& row : rows_) {
+    std::vector<Value> projected;
+    projected.reserve(kept.size());
+    for (AttributeId a : kept) projected.push_back(row[a]);
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+AttributeId Relation::AddConstantColumn(const Value& v) {
+  for (auto& row : rows_) row.push_back(v);
+  return num_attributes_++;
+}
+
+std::string Relation::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += "\t";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace od

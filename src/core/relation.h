@@ -1,0 +1,61 @@
+#ifndef OD_CORE_RELATION_H_
+#define OD_CORE_RELATION_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "core/attribute.h"
+#include "core/value.h"
+
+namespace od {
+
+/// A relation instance: a finite list of tuples over attributes 0..n-1.
+///
+/// The paper limits table instances to sets of tuples for simplicity but
+/// notes multisets change nothing for the axiomatization; we allow duplicate
+/// tuples. Row-major storage — this class backs the *theory* side
+/// (satisfaction checking, witness search, counterexample construction); the
+/// execution engine uses the columnar `engine::Table` instead.
+class Relation {
+ public:
+  Relation() : num_attributes_(0) {}
+  explicit Relation(int num_attributes) : num_attributes_(num_attributes) {}
+
+  /// Builds an integer relation from a row-major literal, e.g.
+  /// `Relation::FromInts({{3,2,0,4,7,9},{3,2,1,3,8,9}})` — Figure 1.
+  static Relation FromInts(
+      const std::vector<std::vector<int64_t>>& rows);
+
+  int num_attributes() const { return num_attributes_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  void AddRow(std::vector<Value> row);
+  void AddIntRow(const std::vector<int64_t>& row);
+
+  const Value& At(int row, AttributeId attr) const {
+    return rows_[row][attr];
+  }
+  Value& At(int row, AttributeId attr) { return rows_[row][attr]; }
+  const std::vector<Value>& Row(int row) const { return rows_[row]; }
+
+  /// Returns a copy containing only the attributes in `keep`, renumbered
+  /// contiguously in increasing original-id order. `mapping[new_id]` gives
+  /// the original id if `mapping` is non-null.
+  Relation Project(const AttributeSet& keep,
+                   std::vector<AttributeId>* mapping = nullptr) const;
+
+  /// Appends a constant column with the given value; returns the new
+  /// attribute's id (used when re-adding projected-out constants, Lemma 8).
+  AttributeId AddConstantColumn(const Value& v);
+
+  std::string ToString() const;
+
+ private:
+  int num_attributes_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace od
+
+#endif  // OD_CORE_RELATION_H_

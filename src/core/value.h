@@ -1,0 +1,70 @@
+#ifndef OD_CORE_VALUE_H_
+#define OD_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace od {
+
+/// A dynamically typed cell value from a totally ordered domain.
+///
+/// The paper's theory is agnostic to the domain as long as it is totally
+/// ordered; the completeness construction uses integers, while the engine
+/// and the warehouse workloads also need doubles, strings and dates. Dates
+/// are stored as `int64_t` days since 1970-01-01 (see warehouse/date_dim.h).
+///
+/// Ordering across different types is defined (by type tag first) so that a
+/// column accidentally mixing types still sorts deterministically, but the
+/// engine never produces mixed columns.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(int v) : v_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(AsInt());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison: negative, zero, positive.
+  int Compare(const Value& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace od
+
+#endif  // OD_CORE_VALUE_H_

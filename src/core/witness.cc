@@ -1,0 +1,77 @@
+#include "core/witness.h"
+
+#include "core/lex_order.h"
+
+namespace od {
+
+std::string Witness::ToString() const {
+  return std::string(kind == ViolationKind::kSplit ? "split" : "swap") +
+         "(rows " + std::to_string(row_s) + ", " + std::to_string(row_t) +
+         ")";
+}
+
+std::optional<Witness> FindViolation(const Relation& r,
+                                     const OrderDependency& dep) {
+  for (int s = 0; s < r.num_rows(); ++s) {
+    for (int t = 0; t < r.num_rows(); ++t) {
+      if (s == t) continue;
+      const int cx = CompareOnList(r, s, t, dep.lhs);
+      if (cx > 0) continue;  // s ⋠_X t: the OD's premise does not apply.
+      const int cy = CompareOnList(r, s, t, dep.rhs);
+      if (cy <= 0) continue;  // s ≼_Y t: satisfied for this pair.
+      // s ≼_X t but t ≺_Y s. Classify per Theorem 15.
+      if (cx == 0) return Witness{ViolationKind::kSplit, s, t};
+      return Witness{ViolationKind::kSwap, s, t};
+    }
+  }
+  return std::nullopt;
+}
+
+bool Satisfies(const Relation& r, const OrderDependency& dep) {
+  return !FindViolation(r, dep).has_value();
+}
+
+bool Satisfies(const Relation& r, const DependencySet& deps) {
+  for (const auto& d : deps.ods()) {
+    if (!Satisfies(r, d)) return false;
+  }
+  return true;
+}
+
+bool SatisfiesEquivalence(const Relation& r, const AttributeList& x,
+                          const AttributeList& y) {
+  return Satisfies(r, OrderDependency(x, y)) &&
+         Satisfies(r, OrderDependency(y, x));
+}
+
+bool SatisfiesCompatibility(const Relation& r, const AttributeList& x,
+                            const AttributeList& y) {
+  return SatisfiesEquivalence(r, x.Concat(y), y.Concat(x));
+}
+
+std::optional<Witness> FindSwap(const Relation& r, const AttributeList& x,
+                                const AttributeList& y) {
+  for (int s = 0; s < r.num_rows(); ++s) {
+    for (int t = 0; t < r.num_rows(); ++t) {
+      if (s == t) continue;
+      if (CompareOnList(r, s, t, x) < 0 && CompareOnList(r, t, s, y) < 0) {
+        return Witness{ViolationKind::kSwap, s, t};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Witness> FindSplit(const Relation& r, const AttributeList& x,
+                                 const AttributeList& y) {
+  for (int s = 0; s < r.num_rows(); ++s) {
+    for (int t = s + 1; t < r.num_rows(); ++t) {
+      if (CompareOnList(r, s, t, x) == 0 && CompareOnList(r, s, t, y) != 0) {
+        return Witness{ViolationKind::kSplit, s, t};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace od

@@ -1,0 +1,61 @@
+#ifndef OD_CORE_WITNESS_H_
+#define OD_CORE_WITNESS_H_
+
+#include <optional>
+#include <string>
+
+#include "core/dependency.h"
+#include "core/relation.h"
+
+namespace od {
+
+/// How a pair of tuples falsifies an OD X ↦ Y. Per Theorem 15, an OD can be
+/// falsified in exactly two ways:
+///   kSplit (Definition 13): s =_X t but s ≠_Y t — the FD set(X) → set(Y)
+///     fails. Such a pair falsifies X ↦ XY and hence X ↦ Y.
+///   kSwap (Definition 14): s ≺_X t but t ≺_Y s — the tuples order one way
+///     on X and the opposite way on Y, falsifying X ~ Y and hence X ↦ Y.
+enum class ViolationKind { kSplit, kSwap };
+
+/// A falsifying pair of rows, with its classification.
+struct Witness {
+  ViolationKind kind;
+  int row_s;
+  int row_t;
+
+  std::string ToString() const;
+};
+
+/// Returns a falsifying pair for `dep` in `r`, or nullopt if r ⊨ dep.
+/// Exhaustive over all O(n²) ordered pairs of rows.
+std::optional<Witness> FindViolation(const Relation& r,
+                                     const OrderDependency& dep);
+
+/// r ⊨ X ↦ Y.
+bool Satisfies(const Relation& r, const OrderDependency& dep);
+
+/// r ⊨ every OD in `deps`.
+bool Satisfies(const Relation& r, const DependencySet& deps);
+
+/// r ⊨ X ↔ Y (both directions).
+bool SatisfiesEquivalence(const Relation& r, const AttributeList& x,
+                          const AttributeList& y);
+
+/// r ⊨ X ~ Y, i.e. r ⊨ XY ↔ YX (Definition 5).
+bool SatisfiesCompatibility(const Relation& r, const AttributeList& x,
+                            const AttributeList& y);
+
+/// Returns a pair of rows forming a swap between X and Y (s ≺_X t ∧ t ≺_Y s)
+/// if one exists. This is the primitive the completeness construction is
+/// organized around.
+std::optional<Witness> FindSwap(const Relation& r, const AttributeList& x,
+                                const AttributeList& y);
+
+/// Returns a pair of rows forming a split with respect to X ↦ Y
+/// (s =_X t ∧ s ≠_Y t) if one exists.
+std::optional<Witness> FindSplit(const Relation& r, const AttributeList& x,
+                                 const AttributeList& y);
+
+}  // namespace od
+
+#endif  // OD_CORE_WITNESS_H_

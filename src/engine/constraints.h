@@ -1,0 +1,66 @@
+#ifndef OD_ENGINE_CONSTRAINTS_H_
+#define OD_ENGINE_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "engine/ops.h"
+#include "engine/table.h"
+
+namespace od {
+namespace engine {
+
+/// OD check constraints over engine tables — the new constraint type the
+/// paper's authors added to their DB2 prototype ("We have added a new type
+/// of check constraint which expresses an OD", Section 2.3). Declared
+/// constraints are validated against data and handed to the optimizer's
+/// OrderReasoner.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(DependencySet ods) : ods_(std::move(ods)) {}
+
+  void Declare(OrderDependency dep) { ods_.Add(std::move(dep)); }
+  /// Declares X ↔ Y / X ~ Y sugar forms.
+  void DeclareEquivalence(const AttributeList& x, const AttributeList& y) {
+    ods_.AddEquivalence(x, y);
+  }
+  void DeclareCompatibility(const AttributeList& x, const AttributeList& y) {
+    ods_.AddCompatibility(x, y);
+  }
+
+  const DependencySet& ods() const { return ods_; }
+
+  /// A constraint violation found during validation.
+  struct Violation {
+    OrderDependency dep;
+    int64_t row_s;
+    int64_t row_t;
+    bool is_swap;  // else split
+
+    std::string ToString(const Schema& schema) const;
+  };
+
+  /// Full validation of `t` against every declared constraint. O(n²·|ℳ|)
+  /// pairwise checking — the reference validator used by tests and by bulk
+  /// loads of modest size. Returns all violations (empty means valid).
+  std::vector<Violation> Validate(const Table& t) const;
+
+  /// Fast-path validation for a table already sorted by `sorted_by`: for a
+  /// declared X ↦ Y with X = `sorted_by`, adjacent-row checking suffices
+  /// (lexicographic violations between any pair imply one between some
+  /// adjacent pair in X-order). Constraints whose lhs differs from
+  /// `sorted_by` are checked pairwise. O(n·k + n²·rest).
+  std::vector<Violation> ValidateSorted(const Table& t,
+                                        const SortSpec& sorted_by) const;
+
+ private:
+  DependencySet ods_;
+};
+
+}  // namespace engine
+}  // namespace od
+
+#endif  // OD_ENGINE_CONSTRAINTS_H_

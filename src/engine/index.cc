@@ -1,0 +1,67 @@
+#include "engine/index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace od {
+namespace engine {
+
+OrderedIndex::OrderedIndex(const Table* table, SortSpec key)
+    : table_(table), key_(std::move(key)), perm_(table->num_rows()) {
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::stable_sort(perm_.begin(), perm_.end(), [this](int64_t a, int64_t b) {
+    return table_->CompareRows(a, b, key_) < 0;
+  });
+}
+
+Table OrderedIndex::ScanAll() const {
+  Table out = table_->Gather(perm_);
+  out.SetOrdering(key_);
+  return out;
+}
+
+int64_t OrderedIndex::LowerBound(int64_t v) const {
+  const Column& col = table_->col(key_.front());
+  auto it = std::lower_bound(perm_.begin(), perm_.end(), v,
+                             [&col](int64_t row, int64_t value) {
+                               return col.Int(row) < value;
+                             });
+  return it - perm_.begin();
+}
+
+int64_t OrderedIndex::UpperBound(int64_t v) const {
+  const Column& col = table_->col(key_.front());
+  auto it = std::upper_bound(perm_.begin(), perm_.end(), v,
+                             [&col](int64_t value, int64_t row) {
+                               return value < col.Int(row);
+                             });
+  return it - perm_.begin();
+}
+
+Table OrderedIndex::ScanRange(int64_t lo, int64_t hi) const {
+  const int64_t begin = LowerBound(lo);
+  const int64_t end = UpperBound(hi);
+  std::vector<int64_t> rows(perm_.begin() + begin, perm_.begin() + end);
+  Table out = table_->Gather(rows);
+  out.SetOrdering(key_);
+  return out;
+}
+
+int64_t OrderedIndex::CountRange(int64_t lo, int64_t hi) const {
+  return UpperBound(hi) - LowerBound(lo);
+}
+
+std::optional<int64_t> OrderedIndex::MinKeyAtLeast(int64_t lo) const {
+  const int64_t pos = LowerBound(lo);
+  if (pos >= static_cast<int64_t>(perm_.size())) return std::nullopt;
+  return table_->col(key_.front()).Int(perm_[pos]);
+}
+
+std::optional<int64_t> OrderedIndex::MaxKeyAtMost(int64_t hi) const {
+  const int64_t pos = UpperBound(hi);
+  if (pos == 0) return std::nullopt;
+  return table_->col(key_.front()).Int(perm_[pos - 1]);
+}
+
+}  // namespace engine
+}  // namespace od

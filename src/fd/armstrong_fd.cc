@@ -1,0 +1,23 @@
+#include "fd/armstrong_fd.h"
+
+namespace od {
+namespace fd {
+
+Relation TwoRowFdCounterexample(const FdSet& fds, const AttributeSet& lhs,
+                                const AttributeSet& universe) {
+  const AttributeSet closure = fds.Closure(lhs);
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  const int n = attrs.empty() ? 0 : attrs.back() + 1;
+  Relation r(n);
+  std::vector<int64_t> row0(n, 0);
+  std::vector<int64_t> row1(n, 0);
+  for (AttributeId a : attrs) {
+    row1[a] = closure.Contains(a) ? 0 : 1;
+  }
+  r.AddIntRow(row0);
+  r.AddIntRow(row1);
+  return r;
+}
+
+}  // namespace fd
+}  // namespace od

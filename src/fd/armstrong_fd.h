@@ -1,0 +1,29 @@
+#ifndef OD_FD_ARMSTRONG_FD_H_
+#define OD_FD_ARMSTRONG_FD_H_
+
+#include "core/relation.h"
+#include "fd/fd_set.h"
+
+namespace od {
+namespace fd {
+
+/// Ullman's two-row counterexample for functional dependencies (used by the
+/// paper in Theorem 16 and Figure 7): given ℱ and a set F with closure F⁺,
+/// the relation
+///
+///     F⁺ attributes | other attributes
+///     0 0 ... 0     | 0 0 ... 0
+///     0 0 ... 0     | 1 1 ... 1
+///
+/// satisfies ℱ but falsifies F → G for every G ⊄ F⁺. Both rows ascend
+/// column-wise, so the table contains no swaps — exactly the property the
+/// OD completeness proof relies on for split(ℳ).
+///
+/// `universe` must contain all attributes of ℱ and of the sets of interest.
+Relation TwoRowFdCounterexample(const FdSet& fds, const AttributeSet& lhs,
+                                const AttributeSet& universe);
+
+}  // namespace fd
+}  // namespace od
+
+#endif  // OD_FD_ARMSTRONG_FD_H_

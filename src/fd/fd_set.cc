@@ -1,0 +1,169 @@
+#include "fd/fd_set.h"
+
+#include <algorithm>
+
+namespace od {
+namespace fd {
+
+std::string FunctionalDependency::ToString() const {
+  return od::ToString(lhs) + " -> " + od::ToString(rhs);
+}
+
+bool Satisfies(const Relation& r, const FunctionalDependency& f) {
+  const std::vector<AttributeId> lhs = f.lhs.ToVector();
+  const std::vector<AttributeId> rhs = f.rhs.ToVector();
+  for (int s = 0; s < r.num_rows(); ++s) {
+    for (int t = s + 1; t < r.num_rows(); ++t) {
+      bool lhs_equal = true;
+      for (AttributeId a : lhs) {
+        if (r.At(s, a) != r.At(t, a)) {
+          lhs_equal = false;
+          break;
+        }
+      }
+      if (!lhs_equal) continue;
+      for (AttributeId a : rhs) {
+        if (r.At(s, a) != r.At(t, a)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+AttributeSet FdSet::Closure(const AttributeSet& x) const {
+  AttributeSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : fds_) {
+      if (f.lhs.SubsetOf(closure) && !f.rhs.SubsetOf(closure)) {
+        closure = closure.Union(f.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdSet::Implies(const FunctionalDependency& f) const {
+  return f.rhs.SubsetOf(Closure(f.lhs));
+}
+
+bool FdSet::Implies(const AttributeSet& lhs, const AttributeSet& rhs) const {
+  return Implies(FunctionalDependency(lhs, rhs));
+}
+
+AttributeSet FdSet::Attributes() const {
+  AttributeSet out;
+  for (const auto& f : fds_) out = out.Union(f.lhs).Union(f.rhs);
+  return out;
+}
+
+std::vector<AttributeSet> FdSet::CandidateKeys(
+    const AttributeSet& universe) const {
+  std::vector<AttributeSet> keys;
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  const int n = static_cast<int>(attrs.size());
+  // Enumerate subsets in increasing cardinality so that minimality can be
+  // checked against the keys found so far.
+  std::vector<uint64_t> subsets;
+  subsets.reserve(uint64_t{1} << n);
+  for (uint64_t m = 0; m < (uint64_t{1} << n); ++m) subsets.push_back(m);
+  std::sort(subsets.begin(), subsets.end(), [](uint64_t a, uint64_t b) {
+    const int pa = __builtin_popcountll(a);
+    const int pb = __builtin_popcountll(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+  for (uint64_t m : subsets) {
+    AttributeSet candidate;
+    for (int i = 0; i < n; ++i) {
+      if (m & (uint64_t{1} << i)) candidate.Add(attrs[i]);
+    }
+    bool superset_of_key = false;
+    for (const auto& k : keys) {
+      if (k.SubsetOf(candidate)) {
+        superset_of_key = true;
+        break;
+      }
+    }
+    if (superset_of_key) continue;
+    if (universe.SubsetOf(Closure(candidate))) keys.push_back(candidate);
+  }
+  return keys;
+}
+
+FdSet FdSet::MinimalCover() const {
+  // 1. Singleton right-hand sides.
+  std::vector<FunctionalDependency> work;
+  for (const auto& f : fds_) {
+    for (AttributeId a : f.rhs.ToVector()) {
+      work.emplace_back(f.lhs, AttributeSet({a}));
+    }
+  }
+  // 2. Remove extraneous left-hand attributes.
+  for (auto& f : work) {
+    bool reduced = true;
+    while (reduced) {
+      reduced = false;
+      for (AttributeId a : f.lhs.ToVector()) {
+        AttributeSet smaller = f.lhs;
+        smaller.Remove(a);
+        if (smaller.IsEmpty() && !f.lhs.IsEmpty() && f.lhs.Size() == 1) {
+          // Allow reduction to the empty LHS only if [] already implies rhs.
+        }
+        FdSet all(work);
+        if (f.rhs.SubsetOf(all.Closure(smaller))) {
+          f.lhs = smaller;
+          reduced = true;
+          break;
+        }
+      }
+    }
+  }
+  // 3. Remove redundant FDs.
+  std::vector<FunctionalDependency> out;
+  for (size_t i = 0; i < work.size(); ++i) {
+    std::vector<FunctionalDependency> others;
+    for (size_t j = 0; j < work.size(); ++j) {
+      if (j == i) continue;
+      // Skip FDs already discarded (marked by empty rhs sentinel).
+      if (work[j].rhs.IsEmpty()) continue;
+      others.push_back(work[j]);
+    }
+    FdSet rest(std::move(others));
+    if (rest.Implies(work[i])) {
+      work[i].rhs = AttributeSet();  // discard
+    }
+  }
+  for (const auto& f : work) {
+    if (!f.rhs.IsEmpty()) out.push_back(f);
+  }
+  return FdSet(std::move(out));
+}
+
+std::string FdSet::ToString() const {
+  std::string out;
+  for (const auto& f : fds_) {
+    out += f.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+FdSet FdProjection(const DependencySet& m) {
+  FdSet out;
+  for (const auto& d : m.ods()) {
+    out.Add(d.lhs.ToSet(), d.rhs.ToSet());
+  }
+  return out;
+}
+
+OrderDependency FdAsOd(const FunctionalDependency& f) {
+  AttributeList x(f.lhs.ToVector());
+  AttributeList y(f.rhs.ToVector());
+  return OrderDependency(x, x.Concat(y));
+}
+
+}  // namespace fd
+}  // namespace od

@@ -1,0 +1,85 @@
+#ifndef OD_FD_FD_SET_H_
+#define OD_FD_FD_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/attribute.h"
+#include "core/dependency.h"
+#include "core/relation.h"
+
+namespace od {
+namespace fd {
+
+/// A functional dependency F → G over attribute *sets* — the classical
+/// dependency class that the paper proves is subsumed by ODs (Theorem 16).
+struct FunctionalDependency {
+  AttributeSet lhs;
+  AttributeSet rhs;
+
+  FunctionalDependency() = default;
+  FunctionalDependency(AttributeSet l, AttributeSet r) : lhs(l), rhs(r) {}
+
+  std::string ToString() const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// r ⊨ F → G: tuples equal on F are equal on G.
+bool Satisfies(const Relation& r, const FunctionalDependency& f);
+
+/// A set ℱ of functional dependencies with Armstrong-style reasoning.
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(std::vector<FunctionalDependency> fds)
+      : fds_(std::move(fds)) {}
+
+  void Add(FunctionalDependency f) { fds_.push_back(f); }
+  void Add(AttributeSet lhs, AttributeSet rhs) { fds_.emplace_back(lhs, rhs); }
+
+  int Size() const { return static_cast<int>(fds_.size()); }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// The attribute-set closure X⁺ under ℱ (Ullman's linear-pass algorithm):
+  /// the largest set Y with ℱ ⊨ X → Y.
+  AttributeSet Closure(const AttributeSet& x) const;
+
+  /// ℱ ⊨ F → G, decided via closure (sound and complete by Armstrong).
+  bool Implies(const FunctionalDependency& f) const;
+  bool Implies(const AttributeSet& lhs, const AttributeSet& rhs) const;
+
+  /// All attributes mentioned.
+  AttributeSet Attributes() const;
+
+  /// Candidate keys of `universe` under ℱ: minimal sets whose closure covers
+  /// `universe`. Exponential; intended for small schemas.
+  std::vector<AttributeSet> CandidateKeys(const AttributeSet& universe) const;
+
+  /// A minimal cover: singleton right-hand sides, no redundant FDs, no
+  /// redundant left-hand attributes.
+  FdSet MinimalCover() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+/// The FD projection ℱ = { set(X) → set(Y) : X ↦ Y ∈ ℳ } of an OD set.
+/// By Lemma 1 every OD implies its FD projection; by the completeness
+/// argument (split(ℳ), Theorem 16), ℳ ⊨ the FD F → G *iff* the projection
+/// ℱ implies F → G.
+FdSet FdProjection(const DependencySet& m);
+
+/// Converts an FD F → G into its FD-shaped OD X ↦ XY for the increasing-id
+/// orderings X of F and Y of G (Theorem 13; any ordering works).
+OrderDependency FdAsOd(const FunctionalDependency& f);
+
+}  // namespace fd
+}  // namespace od
+
+#endif  // OD_FD_FD_SET_H_

@@ -1,0 +1,78 @@
+#include "optimizer/date_rewrite.h"
+
+#include <limits>
+
+namespace od {
+namespace opt {
+
+bool RewriteApplicable(const OrderReasoner& reasoner,
+                       engine::ColumnId dim_date_sk,
+                       engine::ColumnId dim_date) {
+  return reasoner.Equivalent({dim_date_sk}, {dim_date});
+}
+
+std::optional<std::pair<int64_t, int64_t>> SurrogateKeyRange(
+    const engine::Table& dim, engine::ColumnId dim_date_sk,
+    const std::vector<engine::Predicate>& preds) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  bool any = false;
+  for (int64_t row : engine::FilterRowIds(dim, preds)) {
+    const int64_t sk = dim.col(dim_date_sk).Int(row);
+    lo = std::min(lo, sk);
+    hi = std::max(hi, sk);
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+bool QualifyingRowsContiguous(const engine::Table& dim,
+                              engine::ColumnId dim_date_sk,
+                              const std::vector<engine::Predicate>& preds) {
+  auto range = SurrogateKeyRange(dim, dim_date_sk, preds);
+  if (!range.has_value()) return true;  // vacuously
+  // Every dimension row inside the surrogate range must qualify.
+  for (int64_t row = 0; row < dim.num_rows(); ++row) {
+    const int64_t sk = dim.col(dim_date_sk).Int(row);
+    if (sk < range->first || sk > range->second) continue;
+    for (const auto& p : preds) {
+      if (!p.Matches(dim, row)) return false;
+    }
+  }
+  return true;
+}
+
+PlanPtr BuildBaselinePlan(const engine::Table* fact, const engine::Table* dim,
+                          const DateRangeQuery& query) {
+  PlanPtr dim_scan = FilterNode(TableScan(dim), query.dim_predicates);
+  PlanPtr join = HashJoinNode(TableScan(fact), query.fact_date_sk,
+                              std::move(dim_scan), query.dim_date_sk);
+  return HashAggNode(std::move(join), query.fact_group_cols, query.fact_aggs);
+}
+
+PlanPtr BuildRewrittenPlan(const engine::OrderedIndex* fact_sk_index,
+                           const DateRangeQuery& query,
+                           std::pair<int64_t, int64_t> sk_range) {
+  return HashAggNode(IndexScan(fact_sk_index, sk_range),
+                     query.fact_group_cols, query.fact_aggs);
+}
+
+PlanPtr BuildRewrittenPartitionedPlan(const engine::PartitionedTable* fact,
+                                      const DateRangeQuery& query,
+                                      std::pair<int64_t, int64_t> sk_range) {
+  return HashAggNode(PartitionedScan(fact, sk_range), query.fact_group_cols,
+                     query.fact_aggs);
+}
+
+PlanPtr BuildBaselinePartitionedPlan(const engine::PartitionedTable* fact,
+                                     const engine::Table* dim,
+                                     const DateRangeQuery& query) {
+  PlanPtr dim_scan = FilterNode(TableScan(dim), query.dim_predicates);
+  PlanPtr join = HashJoinNode(PartitionedScan(fact), query.fact_date_sk,
+                              std::move(dim_scan), query.dim_date_sk);
+  return HashAggNode(std::move(join), query.fact_group_cols, query.fact_aggs);
+}
+
+}  // namespace opt
+}  // namespace od

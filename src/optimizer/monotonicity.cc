@@ -1,0 +1,242 @@
+#include "optimizer/monotonicity.h"
+
+#include <cmath>
+
+namespace od {
+namespace opt {
+
+namespace {
+
+Monotonicity Flip(Monotonicity m) {
+  switch (m) {
+    case Monotonicity::kNonDecreasing: return Monotonicity::kNonIncreasing;
+    case Monotonicity::kStrictlyIncreasing:
+      return Monotonicity::kNonIncreasing;  // strict decrease not tracked
+    case Monotonicity::kNonIncreasing: return Monotonicity::kNonDecreasing;
+    default: return m;
+  }
+}
+
+bool NonDecreasing(Monotonicity m) {
+  return m == Monotonicity::kConstant ||
+         m == Monotonicity::kNonDecreasing ||
+         m == Monotonicity::kStrictlyIncreasing;
+}
+
+bool NonIncreasing(Monotonicity m) {
+  return m == Monotonicity::kConstant || m == Monotonicity::kNonIncreasing;
+}
+
+/// Combines the directions of two summands.
+Monotonicity CombineAdd(Monotonicity a, Monotonicity b) {
+  if (a == Monotonicity::kUnknown || b == Monotonicity::kUnknown) {
+    return Monotonicity::kUnknown;
+  }
+  if (a == Monotonicity::kConstant) return b;
+  if (b == Monotonicity::kConstant) return a;
+  if (a == Monotonicity::kStrictlyIncreasing && NonDecreasing(b)) return a;
+  if (b == Monotonicity::kStrictlyIncreasing && NonDecreasing(a)) return b;
+  if (NonDecreasing(a) && NonDecreasing(b)) {
+    return Monotonicity::kNonDecreasing;
+  }
+  if (NonIncreasing(a) && NonIncreasing(b)) {
+    return Monotonicity::kNonIncreasing;
+  }
+  return Monotonicity::kUnknown;
+}
+
+}  // namespace
+
+Monotonicity Expr::InDirectionOf(AttributeId a) const {
+  switch (kind) {
+    case Kind::kColumn:
+      return column == a ? Monotonicity::kStrictlyIncreasing
+                         : Monotonicity::kConstant;
+    case Kind::kConstant:
+      return Monotonicity::kConstant;
+    case Kind::kAdd:
+      return CombineAdd(left->InDirectionOf(a), right->InDirectionOf(a));
+    case Kind::kSub:
+      return CombineAdd(left->InDirectionOf(a),
+                        Flip(right->InDirectionOf(a)));
+    case Kind::kMul: {
+      // Sound only when one side is a constant literal; sign decides.
+      if (right->kind == Kind::kConstant) {
+        const Monotonicity m = left->InDirectionOf(a);
+        if (right->value > 0) return m;
+        if (right->value == 0) return Monotonicity::kConstant;
+        return Flip(m);
+      }
+      if (left->kind == Kind::kConstant) {
+        const Monotonicity m = right->InDirectionOf(a);
+        if (left->value > 0) return m;
+        if (left->value == 0) return Monotonicity::kConstant;
+        return Flip(m);
+      }
+      if (left->InDirectionOf(a) == Monotonicity::kConstant &&
+          right->InDirectionOf(a) == Monotonicity::kConstant) {
+        return Monotonicity::kConstant;
+      }
+      return Monotonicity::kUnknown;
+    }
+    case Kind::kDivConst: {
+      const Monotonicity m = left->InDirectionOf(a);
+      if (value > 0) return m;
+      if (value < 0) return Flip(m);
+      return Monotonicity::kUnknown;  // division by zero: reject
+    }
+    case Kind::kNegate:
+      return Flip(left->InDirectionOf(a));
+    case Kind::kStep:
+    case Kind::kYear: {
+      // Non-decreasing, non-strict wrappers: strictness is lost.
+      const Monotonicity m = left->InDirectionOf(a);
+      if (m == Monotonicity::kStrictlyIncreasing) {
+        return Monotonicity::kNonDecreasing;
+      }
+      return m;
+    }
+  }
+  return Monotonicity::kUnknown;
+}
+
+AttributeSet Expr::Inputs() const {
+  switch (kind) {
+    case Kind::kColumn: {
+      AttributeSet s;
+      s.Add(column);
+      return s;
+    }
+    case Kind::kConstant:
+      return AttributeSet();
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+      return left->Inputs().Union(right->Inputs());
+    case Kind::kDivConst:
+    case Kind::kNegate:
+    case Kind::kStep:
+    case Kind::kYear:
+      return left->Inputs();
+  }
+  return AttributeSet();
+}
+
+double Expr::Eval(const std::vector<double>& row) const {
+  switch (kind) {
+    case Kind::kColumn: return row[column];
+    case Kind::kConstant: return value;
+    case Kind::kAdd: return left->Eval(row) + right->Eval(row);
+    case Kind::kSub: return left->Eval(row) - right->Eval(row);
+    case Kind::kMul: return left->Eval(row) * right->Eval(row);
+    case Kind::kDivConst: return left->Eval(row) / value;
+    case Kind::kNegate: return -left->Eval(row);
+    case Kind::kStep: return std::floor(left->Eval(row) / 100.0);
+    case Kind::kYear: return std::floor(left->Eval(row) / 365.2425);
+  }
+  return 0;
+}
+
+std::string Expr::ToString(const NameTable* names) const {
+  auto name_of = [names](AttributeId a) {
+    return names != nullptr ? names->Name(a)
+                            : od::ToString(AttributeList({a}));
+  };
+  switch (kind) {
+    case Kind::kColumn: return name_of(column);
+    case Kind::kConstant: return std::to_string(value);
+    case Kind::kAdd:
+      return "(" + left->ToString(names) + " + " + right->ToString(names) +
+             ")";
+    case Kind::kSub:
+      return "(" + left->ToString(names) + " - " + right->ToString(names) +
+             ")";
+    case Kind::kMul:
+      return "(" + left->ToString(names) + " * " + right->ToString(names) +
+             ")";
+    case Kind::kDivConst:
+      return "(" + left->ToString(names) + " / " + std::to_string(value) +
+             ")";
+    case Kind::kNegate: return "-" + left->ToString(names);
+    case Kind::kStep: return "step(" + left->ToString(names) + ")";
+    case Kind::kYear: return "year(" + left->ToString(names) + ")";
+  }
+  return "?";
+}
+
+namespace {
+
+ExprPtr Make(Expr::Kind kind, ExprPtr left, ExprPtr right, double value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  e->value = value;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr Column(AttributeId a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColumn;
+  e->column = a;
+  return e;
+}
+ExprPtr Constant(double v) {
+  return Make(Expr::Kind::kConstant, nullptr, nullptr, v);
+}
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Make(Expr::Kind::kAdd, std::move(a), std::move(b), 0);
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Make(Expr::Kind::kSub, std::move(a), std::move(b), 0);
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Make(Expr::Kind::kMul, std::move(a), std::move(b), 0);
+}
+ExprPtr DivConst(ExprPtr a, double divisor) {
+  return Make(Expr::Kind::kDivConst, std::move(a), nullptr, divisor);
+}
+ExprPtr Negate(ExprPtr a) {
+  return Make(Expr::Kind::kNegate, std::move(a), nullptr, 0);
+}
+ExprPtr Step(ExprPtr a) {
+  return Make(Expr::Kind::kStep, std::move(a), nullptr, 0);
+}
+ExprPtr Year(ExprPtr a) {
+  return Make(Expr::Kind::kYear, std::move(a), nullptr, 0);
+}
+
+DependencySet DeriveGeneratedColumnOds(AttributeId g, const ExprPtr& expr) {
+  DependencySet out;
+  const AttributeSet inputs = expr->Inputs();
+  if (inputs.IsEmpty()) {
+    out.AddConstant(g);
+    return out;
+  }
+  if (inputs.Size() != 1) return out;  // conservative, as in [12]
+  const AttributeId a = inputs.ToVector().front();
+  switch (expr->InDirectionOf(a)) {
+    case Monotonicity::kStrictlyIncreasing:
+      // Bijective and order-preserving: [a] ↔ [g].
+      out.AddEquivalence(AttributeList({a}), AttributeList({g}));
+      break;
+    case Monotonicity::kNonDecreasing:
+      // [a] ↦ [g]; the converse would need injectivity.
+      out.Add(AttributeList({a}), AttributeList({g}));
+      break;
+    case Monotonicity::kConstant:
+      out.AddConstant(g);
+      break;
+    case Monotonicity::kNonIncreasing:
+      // Descending ODs are the polarized extension [19]; out of scope, so
+      // derive nothing (documented limitation).
+    case Monotonicity::kUnknown:
+      break;
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace od

@@ -1,0 +1,92 @@
+#ifndef OD_OPTIMIZER_MONOTONICITY_H_
+#define OD_OPTIMIZER_MONOTONICITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace od {
+namespace opt {
+
+/// Automatic OD derivation for generated columns — Section 2.2 of the paper
+/// ("Instead of being columns with explicit data, bracket and tax could be
+/// derived by functions or case expressions … it would be possible for the
+/// database system to derive the order-dependency constraints above
+/// automatically"), following the monotonicity detection of Malkemus et
+/// al. [12] (e.g. G = A/100 + A − 3 is monotone in A, so [A] ↦ [G]).
+///
+/// A small scalar-expression language with interval-free monotonicity
+/// analysis: every expression is classified per input column as
+/// non-decreasing, non-increasing, constant, or unknown; a generated column
+/// whose expression is non-decreasing in A (and ignores other columns)
+/// yields [A] ↦ [G], and strictly-increasing bijective shapes yield
+/// [A] ↔ [G].
+
+/// Direction of an expression with respect to one input column.
+enum class Monotonicity {
+  kConstant,       ///< does not depend on the column
+  kNonDecreasing,  ///< larger input never decreases the output
+  kNonIncreasing,  ///< larger input never increases the output
+  kStrictlyIncreasing,  ///< larger input strictly increases the output
+  kUnknown,
+};
+
+/// Scalar expressions over attribute inputs.
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind {
+    kColumn,    ///< an input attribute
+    kConstant,  ///< a numeric literal
+    kAdd,       ///< a + b
+    kSub,       ///< a - b
+    kMul,       ///< a * b
+    kDivConst,  ///< a / c (c a nonzero constant)
+    kNegate,    ///< -a
+    kStep,      ///< non-decreasing step function of a (CASE WHEN thresholds)
+    kYear,      ///< YEAR(datestamp) — the paper's SQL-function example
+  };
+
+  Kind kind;
+  AttributeId column = -1;   // kColumn
+  double value = 0;          // kConstant / kDivConst divisor
+  ExprPtr left, right;
+
+  /// Monotonicity of this expression in attribute `a`.
+  Monotonicity InDirectionOf(AttributeId a) const;
+  /// All attributes the expression reads.
+  AttributeSet Inputs() const;
+  /// Evaluates over a row of doubles indexed by attribute (for testing).
+  double Eval(const std::vector<double>& row) const;
+
+  std::string ToString(const NameTable* names = nullptr) const;
+};
+
+ExprPtr Column(AttributeId a);
+ExprPtr Constant(double v);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr DivConst(ExprPtr a, double divisor);
+ExprPtr Negate(ExprPtr a);
+/// A non-decreasing step of `a` (e.g. a tax-bracket CASE expression).
+ExprPtr Step(ExprPtr a);
+/// YEAR(a) for a datestamp attribute `a` (monotone, non-strict).
+ExprPtr Year(ExprPtr a);
+
+/// The ODs a generated column `g := expr` contributes:
+///   * [a] ↦ [g] when expr is non-decreasing in its single input a;
+///   * additionally [g] ↦ [a] (so [a] ↔ [g]) when strictly increasing;
+///   * [] ↦ [g] when expr is constant.
+/// Multi-input and unknown-direction expressions contribute nothing (the
+/// analysis is conservative, as in [12]).
+DependencySet DeriveGeneratedColumnOds(AttributeId g, const ExprPtr& expr);
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_MONOTONICITY_H_

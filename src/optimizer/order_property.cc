@@ -1,0 +1,41 @@
+#include "optimizer/order_property.h"
+
+namespace od {
+namespace opt {
+
+AttributeList ToList(const engine::SortSpec& spec) {
+  std::vector<AttributeId> attrs(spec.begin(), spec.end());
+  return AttributeList(std::move(attrs));
+}
+
+engine::SortSpec ToSpec(const AttributeList& list) {
+  engine::SortSpec spec;
+  spec.reserve(list.Size());
+  for (int i = 0; i < list.Size(); ++i) spec.push_back(list[i]);
+  return spec;
+}
+
+bool OrderReasoner::Provides(const engine::SortSpec& provided,
+                             const engine::SortSpec& required) const {
+  return prover_.Implies(ToList(provided), ToList(required));
+}
+
+bool OrderReasoner::Equivalent(const engine::SortSpec& a,
+                               const engine::SortSpec& b) const {
+  return prover_.OrderEquivalent(ToList(a), ToList(b));
+}
+
+bool OrderReasoner::GroupsContiguousUnder(
+    const engine::SortSpec& provided,
+    const std::vector<engine::ColumnId>& group_cols) const {
+  const AttributeList p = ToList(provided);
+  const AttributeList g = ToList(engine::SortSpec(group_cols.begin(),
+                                                  group_cols.end()));
+  // Sufficient: the stream order determines the group columns' order
+  // (P ↦ G), in which case equal groups cannot interleave; or the stream
+  // functionally pins the group columns within equal prefixes (P ↦ P∘G).
+  return prover_.Implies(p, g) || prover_.Implies(p, p.Concat(g));
+}
+
+}  // namespace opt
+}  // namespace od

@@ -1,0 +1,62 @@
+#ifndef OD_OPTIMIZER_ORDER_PROPERTY_H_
+#define OD_OPTIMIZER_ORDER_PROPERTY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "engine/ops.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace opt {
+
+/// Bridges engine sort specifications and theory attribute lists: a table's
+/// ColumnIds are used directly as theory AttributeIds, so a SortSpec *is*
+/// an AttributeList.
+AttributeList ToList(const engine::SortSpec& spec);
+engine::SortSpec ToSpec(const AttributeList& list);
+
+/// Order-property reasoning over a set of prescribed ODs — the
+/// "interesting orders" machinery of [17] upgraded with OD inference.
+///
+/// The key asymmetry (Section 2.2): a stream ordered by P may serve a
+/// required order R whenever ℳ ⊨ P ↦ R — strengthening is allowed,
+/// weakening is not. Equivalence is only needed when *rewriting the query's
+/// own ORDER BY text*, which must preserve semantics exactly.
+class OrderReasoner {
+ public:
+  explicit OrderReasoner(DependencySet constraints)
+      : prover_(std::move(constraints)) {}
+
+  const prover::Prover& prover() const { return prover_; }
+
+  /// A stream sorted by `provided` also satisfies ORDER BY `required`.
+  bool Provides(const engine::SortSpec& provided,
+                const engine::SortSpec& required) const;
+
+  /// The two specifications order every instance identically (X ↔ Y).
+  bool Equivalent(const engine::SortSpec& a, const engine::SortSpec& b) const;
+
+  /// Equal-key groups of `group_cols` are contiguous in a stream sorted by
+  /// `provided` — the requirement for StreamGroupBy. This holds whenever
+  /// provided ↦ G for some (equivalently, any) ordering G of the group
+  /// columns *whose attributes are covered by the provided prefix
+  /// functionally*… more simply: sorting by `provided` makes groups
+  /// contiguous iff ℳ ⊨ P ↦ P∘G′ for G′ listing the group columns (the
+  /// FD-shaped consequence: within equal P, group columns are constant)
+  /// or the group columns are a prefix-permutation of P. We check the
+  /// general sufficient condition: set(provided) → set(group) under ℳ's FD
+  /// projection, or P ↦ G′ as an OD.
+  bool GroupsContiguousUnder(const engine::SortSpec& provided,
+                             const std::vector<engine::ColumnId>& group_cols)
+      const;
+
+ private:
+  prover::Prover prover_;
+};
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_ORDER_PROPERTY_H_

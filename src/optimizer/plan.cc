@@ -1,0 +1,310 @@
+#include "optimizer/plan.h"
+
+namespace od {
+namespace opt {
+
+namespace {
+
+class TableScanImpl : public PlanNode {
+ public:
+  explicit TableScanImpl(const engine::Table* table) : table_(table) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    if (stats != nullptr) stats->rows_scanned += table_->num_rows();
+    return *table_;  // copy; fine for plan-shape experiments
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "TableScan (" + std::to_string(table_->num_rows()) +
+           " rows)\n";
+  }
+
+ private:
+  const engine::Table* table_;
+};
+
+class IndexScanImpl : public PlanNode {
+ public:
+  IndexScanImpl(const engine::OrderedIndex* index,
+                std::optional<std::pair<int64_t, int64_t>> range)
+      : index_(index), range_(range) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    engine::Table out = range_.has_value()
+                            ? index_->ScanRange(range_->first, range_->second)
+                            : index_->ScanAll();
+    if (stats != nullptr) stats->rows_scanned += out.num_rows();
+    return out;
+  }
+  std::string Describe(int indent) const override {
+    std::string out = Pad(indent) + "IndexScan";
+    if (range_.has_value()) {
+      out += " range=[" + std::to_string(range_->first) + ", " +
+             std::to_string(range_->second) + "]";
+    }
+    out += " (ordered)\n";
+    return out;
+  }
+
+ private:
+  const engine::OrderedIndex* index_;
+  std::optional<std::pair<int64_t, int64_t>> range_;
+};
+
+class PartitionedScanImpl : public PlanNode {
+ public:
+  PartitionedScanImpl(const engine::PartitionedTable* table,
+                      std::optional<std::pair<int64_t, int64_t>> range)
+      : table_(table), range_(range) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    if (!range_.has_value()) {
+      if (stats != nullptr) {
+        stats->partitions_scanned += table_->num_partitions();
+        stats->rows_scanned += table_->total_rows();
+      }
+      return table_->ScanAll();
+    }
+    int touched = 0;
+    engine::Table out =
+        table_->ScanRange(range_->first, range_->second, &touched);
+    if (stats != nullptr) {
+      stats->partitions_scanned += touched;
+      for (int i = 0; i < table_->num_partitions(); ++i) {
+        if (table_->range(i).first <= range_->second &&
+            range_->first <= table_->range(i).second) {
+          stats->rows_scanned += table_->partition(i).num_rows();
+        }
+      }
+    }
+    return out;
+  }
+  std::string Describe(int indent) const override {
+    std::string out = Pad(indent) + "PartitionedScan";
+    if (range_.has_value()) {
+      out += " pruned-to=[" + std::to_string(range_->first) + ", " +
+             std::to_string(range_->second) + "]";
+    } else {
+      out += " all-partitions";
+    }
+    out += "\n";
+    return out;
+  }
+
+ private:
+  const engine::PartitionedTable* table_;
+  std::optional<std::pair<int64_t, int64_t>> range_;
+};
+
+class FilterImpl : public PlanNode {
+ public:
+  FilterImpl(PlanPtr child, std::vector<engine::Predicate> preds)
+      : child_(std::move(child)), preds_(std::move(preds)) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    return engine::Filter(child_->Execute(stats), preds_);
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Filter (" + std::to_string(preds_.size()) +
+           " predicates)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<engine::Predicate> preds_;
+};
+
+class SortImpl : public PlanNode {
+ public:
+  SortImpl(PlanPtr child, engine::SortSpec spec)
+      : child_(std::move(child)), spec_(std::move(spec)) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    if (stats != nullptr) ++stats->sorts;
+    return engine::SortBy(child_->Execute(stats), spec_);
+  }
+  std::string Describe(int indent) const override {
+    std::string cols;
+    for (auto c : spec_) cols += std::to_string(c) + " ";
+    return Pad(indent) + "Sort by [" + cols + "]\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  engine::SortSpec spec_;
+};
+
+class HashAggImpl : public PlanNode {
+ public:
+  HashAggImpl(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+              std::vector<engine::AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    return engine::HashGroupBy(child_->Execute(stats), group_cols_, aggs_);
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "HashAgg\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<engine::ColumnId> group_cols_;
+  std::vector<engine::AggSpec> aggs_;
+};
+
+class StreamAggImpl : public PlanNode {
+ public:
+  StreamAggImpl(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+                std::vector<engine::AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    return engine::StreamGroupBy(child_->Execute(stats), group_cols_, aggs_);
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "StreamAgg (order-exploiting)\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<engine::ColumnId> group_cols_;
+  std::vector<engine::AggSpec> aggs_;
+};
+
+class HashJoinImpl : public PlanNode {
+ public:
+  HashJoinImpl(PlanPtr left, engine::ColumnId left_key, PlanPtr right,
+               engine::ColumnId right_key)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    engine::Table l = left_->Execute(stats);
+    engine::Table r = right_->Execute(stats);
+    engine::Table out = engine::HashJoin(l, left_key_, r, right_key_);
+    if (stats != nullptr) {
+      ++stats->joins;
+      stats->rows_joined += out.num_rows();
+    }
+    return out;
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "HashJoin\n" + left_->Describe(indent + 1) +
+           right_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  engine::ColumnId left_key_;
+  engine::ColumnId right_key_;
+};
+
+class SortMergeJoinImpl : public PlanNode {
+ public:
+  SortMergeJoinImpl(PlanPtr left, engine::ColumnId left_key, PlanPtr right,
+                    engine::ColumnId right_key, bool assume_sorted)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key),
+        assume_sorted_(assume_sorted) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    engine::Table l = left_->Execute(stats);
+    engine::Table r = right_->Execute(stats);
+    if (stats != nullptr) {
+      ++stats->joins;
+      if (!assume_sorted_) stats->sorts += 2;
+    }
+    engine::Table out = engine::SortMergeJoin(l, left_key_, r, right_key_,
+                                              assume_sorted_);
+    if (stats != nullptr) stats->rows_joined += out.num_rows();
+    return out;
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + std::string("SortMergeJoin") +
+           (assume_sorted_ ? " (sorts elided via OD reasoning)" : "") + "\n" +
+           left_->Describe(indent + 1) + right_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  engine::ColumnId left_key_;
+  engine::ColumnId right_key_;
+  bool assume_sorted_;
+};
+
+class ProjectImpl : public PlanNode {
+ public:
+  ProjectImpl(PlanPtr child, std::vector<engine::ColumnId> cols)
+      : child_(std::move(child)), cols_(std::move(cols)) {}
+  engine::Table Execute(ExecStats* stats) const override {
+    return engine::Project(child_->Execute(stats), cols_);
+  }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Project\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  PlanPtr child_;
+  std::vector<engine::ColumnId> cols_;
+};
+
+}  // namespace
+
+PlanPtr TableScan(const engine::Table* table) {
+  return std::make_unique<TableScanImpl>(table);
+}
+
+PlanPtr IndexScan(const engine::OrderedIndex* index,
+                  std::optional<std::pair<int64_t, int64_t>> range) {
+  return std::make_unique<IndexScanImpl>(index, range);
+}
+
+PlanPtr PartitionedScan(const engine::PartitionedTable* table,
+                        std::optional<std::pair<int64_t, int64_t>> range) {
+  return std::make_unique<PartitionedScanImpl>(table, range);
+}
+
+PlanPtr FilterNode(PlanPtr child, std::vector<engine::Predicate> preds) {
+  return std::make_unique<FilterImpl>(std::move(child), std::move(preds));
+}
+
+PlanPtr SortNode(PlanPtr child, engine::SortSpec spec) {
+  return std::make_unique<SortImpl>(std::move(child), std::move(spec));
+}
+
+PlanPtr HashAggNode(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+                    std::vector<engine::AggSpec> aggs) {
+  return std::make_unique<HashAggImpl>(std::move(child), std::move(group_cols),
+                                       std::move(aggs));
+}
+
+PlanPtr StreamAggNode(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+                      std::vector<engine::AggSpec> aggs) {
+  return std::make_unique<StreamAggImpl>(std::move(child),
+                                         std::move(group_cols),
+                                         std::move(aggs));
+}
+
+PlanPtr HashJoinNode(PlanPtr left, engine::ColumnId left_key, PlanPtr right,
+                     engine::ColumnId right_key) {
+  return std::make_unique<HashJoinImpl>(std::move(left), left_key,
+                                        std::move(right), right_key);
+}
+
+PlanPtr SortMergeJoinNode(PlanPtr left, engine::ColumnId left_key,
+                          PlanPtr right, engine::ColumnId right_key,
+                          bool assume_sorted) {
+  return std::make_unique<SortMergeJoinImpl>(std::move(left), left_key,
+                                             std::move(right), right_key,
+                                             assume_sorted);
+}
+
+PlanPtr ProjectNode(PlanPtr child, std::vector<engine::ColumnId> cols) {
+  return std::make_unique<ProjectImpl>(std::move(child), std::move(cols));
+}
+
+}  // namespace opt
+}  // namespace od

@@ -1,0 +1,85 @@
+#ifndef OD_OPTIMIZER_PLAN_H_
+#define OD_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+
+namespace od {
+namespace opt {
+
+/// Counters the benches and tests assert on: plan-shape differences (sorts
+/// avoided, joins removed, partitions pruned) show up here independently of
+/// wall-clock noise.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_joined = 0;
+  int sorts = 0;
+  int joins = 0;
+  int partitions_scanned = 0;
+};
+
+/// A physical plan node. Execution materializes bottom-up; Describe prints
+/// an EXPLAIN-style tree.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  virtual engine::Table Execute(ExecStats* stats) const = 0;
+  virtual std::string Describe(int indent = 0) const = 0;
+
+ protected:
+  static std::string Pad(int indent) { return std::string(indent * 2, ' '); }
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Full scan of a base table.
+PlanPtr TableScan(const engine::Table* table);
+
+/// Ordered scan of an index, optionally restricted to a leading-key range.
+/// The output carries the index key as its ordering property.
+PlanPtr IndexScan(const engine::OrderedIndex* index,
+                  std::optional<std::pair<int64_t, int64_t>> range =
+                      std::nullopt);
+
+/// Scan of a partitioned table; with a range, non-overlapping partitions
+/// are pruned.
+PlanPtr PartitionedScan(const engine::PartitionedTable* table,
+                        std::optional<std::pair<int64_t, int64_t>> range =
+                            std::nullopt);
+
+PlanPtr FilterNode(PlanPtr child, std::vector<engine::Predicate> preds);
+
+/// An explicit sort enforcer.
+PlanPtr SortNode(PlanPtr child, engine::SortSpec spec);
+
+PlanPtr HashAggNode(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+                    std::vector<engine::AggSpec> aggs);
+
+/// Requires equal group keys to be contiguous in the child's output — the
+/// optimizer must have proven this via OrderReasoner::GroupsContiguousUnder.
+PlanPtr StreamAggNode(PlanPtr child, std::vector<engine::ColumnId> group_cols,
+                      std::vector<engine::AggSpec> aggs);
+
+PlanPtr HashJoinNode(PlanPtr left, engine::ColumnId left_key, PlanPtr right,
+                     engine::ColumnId right_key);
+
+/// `assume_sorted` elides the input sorts — legal when both children's
+/// ordering properties provide the join keys (OD reasoning).
+PlanPtr SortMergeJoinNode(PlanPtr left, engine::ColumnId left_key,
+                          PlanPtr right, engine::ColumnId right_key,
+                          bool assume_sorted);
+
+PlanPtr ProjectNode(PlanPtr child, std::vector<engine::ColumnId> cols);
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_PLAN_H_

@@ -1,0 +1,99 @@
+#include "optimizer/reduce_order.h"
+
+namespace od {
+namespace opt {
+
+namespace {
+
+/// One right-to-left elimination pass. `use_ods` enables the ReduceOrder+
+/// postfix check. Returns true if anything was dropped.
+bool SweepOnce(const prover::Prover& prover, bool use_ods,
+               AttributeList* order_by, std::vector<std::string>* log) {
+  for (int i = order_by->Size() - 1; i >= 0; --i) {
+    const AttributeId a = (*order_by)[i];
+    const AttributeList prefix = order_by->Prefix(i);
+    const AttributeList suffix = order_by->Suffix(i + 1);
+
+    // FD check (ReduceOrder, [17]): the attributes to the left determine A.
+    if (prover.ImpliesFd(prefix.ToSet(), AttributeSet({a}))) {
+      *order_by = prefix.Concat(suffix);
+      log->push_back("dropped " + od::ToString(AttributeList({a})) +
+                     ": functionally determined by prefix " +
+                     od::ToString(prefix));
+      return true;
+    }
+    if (!use_ods) continue;
+
+    // OD check (ReduceOrder+): a *block* starting at position i can be
+    // dropped when some list that directly follows it orders the whole
+    // block — Theorem 8 (Left Eliminate): X ↦ Y ⊢ Z Y X V ↔ Z X V with
+    // Y the block and X a prefix of the suffix. Blocks matter: given
+    // D ↦ BC, the list A B C D reduces to A D by dropping [B, C] at once,
+    // though neither B nor C can be dropped alone.
+    for (int len = 1; i + len <= order_by->Size(); ++len) {
+      const AttributeList block = order_by->Suffix(i).Prefix(len);
+      const AttributeList rest = order_by->Suffix(i + len);
+      bool dropped = false;
+      for (int k = 1; k <= rest.Size(); ++k) {
+        const AttributeList s = rest.Prefix(k);
+        if (prover.Implies(s, block)) {
+          *order_by = prefix.Concat(rest);
+          log->push_back("dropped " + od::ToString(block) +
+                         ": ordered by following list " + od::ToString(s) +
+                         " (Left Eliminate)");
+          dropped = true;
+          break;
+        }
+      }
+      if (dropped) return true;
+    }
+  }
+  return false;
+}
+
+ReduceResult Reduce(const prover::Prover& prover, const AttributeList& input,
+                    bool use_ods) {
+  ReduceResult result;
+  // Repeated attributes never survive (Normalization, OD3).
+  result.reduced = input.RemoveDuplicates();
+  if (result.reduced != input) {
+    result.log.push_back("removed duplicate attributes (Normalization)");
+  }
+  while (SweepOnce(prover, use_ods, &result.reduced, &result.log)) {
+  }
+  return result;
+}
+
+}  // namespace
+
+ReduceResult ReduceOrder(const prover::Prover& prover,
+                         const AttributeList& order_by) {
+  return Reduce(prover, order_by, /*use_ods=*/false);
+}
+
+ReduceResult ReduceOrderPlus(const prover::Prover& prover,
+                             const AttributeList& order_by) {
+  return Reduce(prover, order_by, /*use_ods=*/true);
+}
+
+AttributeSet ReduceGroupBy(const prover::Prover& prover,
+                           const AttributeSet& group_by) {
+  AttributeSet reduced = group_by;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (AttributeId a : reduced.ToVector()) {
+      AttributeSet rest = reduced;
+      rest.Remove(a);
+      if (prover.ImpliesFd(rest, AttributeSet({a}))) {
+        reduced = rest;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return reduced;
+}
+
+}  // namespace opt
+}  // namespace od

@@ -1,0 +1,53 @@
+#ifndef OD_OPTIMIZER_REDUCE_ORDER_H_
+#define OD_OPTIMIZER_REDUCE_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace opt {
+
+/// Result of an order-by reduction: the shortened list plus a human-readable
+/// log of which attribute each pass removed and why.
+struct ReduceResult {
+  AttributeList reduced;
+  std::vector<std::string> log;
+
+  int eliminated(const AttributeList& original) const {
+    return original.Size() - reduced.Size();
+  }
+};
+
+/// ReduceOrder — the FD-based order-by simplification of Simmen et al. [17]
+/// as described in Section 2.3: sweep the attribute list right to left; an
+/// attribute is dropped when the *set* of attributes to its left
+/// functionally determines it (so within equal prefixes it is constant and
+/// contributes nothing to the order). Justified by Theorem 7 (Eliminate)
+/// restricted to FD knowledge.
+ReduceResult ReduceOrder(const prover::Prover& prover,
+                         const AttributeList& order_by);
+
+/// ReduceOrder+ — the paper's OD-augmented sweep: additionally drops an
+/// attribute A when some list of attributes to its right (a prefix of the
+/// suffix) *orders* A, i.e. ℳ ⊨ S ↦ [A]. Justified by Theorem 8
+/// (Left Eliminate): Z A S V ↔ Z S V when S ↦ A.
+///
+/// Example 1: with [month] ↦ [quarter],
+///   ReduceOrder  keeps [year, quarter, month] (quarter precedes month);
+///   ReduceOrder+ reduces it to [year, month].
+ReduceResult ReduceOrderPlus(const prover::Prover& prover,
+                             const AttributeList& order_by);
+
+/// Group-by simplification (set-based): removes A from the group set when
+/// the remaining attributes functionally determine A — the partitions are
+/// then identical (the FD-equivalence requirement of Section 2.2).
+AttributeSet ReduceGroupBy(const prover::Prover& prover,
+                           const AttributeSet& group_by);
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_REDUCE_ORDER_H_

@@ -1,0 +1,59 @@
+#include "prover/compat_graph.h"
+
+namespace od {
+namespace prover {
+
+CompatibilityGraph::CompatibilityGraph(const Prover& prover,
+                                       const AttributeSet& universe)
+    : universe_(universe) {
+  const int n = universe.IsEmpty() ? 0 : universe.ToVector().back() + 1;
+  edge_.assign(n, std::vector<bool>(n, false));
+  parent_.resize(n);
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      const AttributeId a = attrs[i];
+      const AttributeId b = attrs[j];
+      if (prover.OrderCompatible(AttributeList({a}), AttributeList({b}))) {
+        edge_[a][b] = edge_[b][a] = true;
+        // Union.
+        const AttributeId ra = Find(a);
+        const AttributeId rb = Find(b);
+        if (ra != rb) parent_[ra] = rb;
+      }
+    }
+  }
+}
+
+bool CompatibilityGraph::HasEdge(AttributeId a, AttributeId b) const {
+  return edge_[a][b];
+}
+
+AttributeId CompatibilityGraph::Find(AttributeId a) const {
+  while (parent_[a] != a) {
+    parent_[a] = parent_[parent_[a]];
+    a = parent_[a];
+  }
+  return a;
+}
+
+AttributeId CompatibilityGraph::Component(AttributeId a) const {
+  return Find(a);
+}
+
+bool CompatibilityGraph::SameComponent(AttributeId a, AttributeId b) const {
+  return Find(a) == Find(b);
+}
+
+AttributeSet CompatibilityGraph::ComponentMembers(AttributeId a) const {
+  AttributeSet out;
+  const AttributeId root = Find(a);
+  for (AttributeId b : universe_.ToVector()) {
+    if (Find(b) == root) out.Add(b);
+  }
+  return out;
+}
+
+}  // namespace prover
+}  // namespace od

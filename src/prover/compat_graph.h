@@ -1,0 +1,43 @@
+#ifndef OD_PROVER_COMPAT_GRAPH_H_
+#define OD_PROVER_COMPAT_GRAPH_H_
+
+#include <vector>
+
+#include "core/attribute.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace prover {
+
+/// The order-compatibility graph over single attributes in the empty
+/// context: vertices are attributes, with an edge A — B iff ℳ ⊨ A ~ B.
+///
+/// Lemma 12 (empty-context swap construction) partitions attributes into
+/// "A's group", "B's group", and the rest using exactly the connected
+/// components of this graph: a swap between A and B is constructible iff A
+/// and B lie in different components, which the Chain axiom (OD6) guarantees
+/// whenever A ~ B is not in ℳ⁺ with empty maximal context.
+class CompatibilityGraph {
+ public:
+  CompatibilityGraph(const Prover& prover, const AttributeSet& universe);
+
+  bool HasEdge(AttributeId a, AttributeId b) const;
+  /// Representative id of the component containing `a` (union-find root).
+  AttributeId Component(AttributeId a) const;
+  bool SameComponent(AttributeId a, AttributeId b) const;
+
+  /// All attributes in the same component as `a`.
+  AttributeSet ComponentMembers(AttributeId a) const;
+
+ private:
+  AttributeId Find(AttributeId a) const;
+
+  AttributeSet universe_;
+  std::vector<std::vector<bool>> edge_;
+  mutable std::vector<AttributeId> parent_;
+};
+
+}  // namespace prover
+}  // namespace od
+
+#endif  // OD_PROVER_COMPAT_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "prover/od_set_ops.h"
+
+#include "prover/prover.h"
+
+namespace od {
+namespace prover {
+
+bool ImpliesAll(const DependencySet& m, const DependencySet& candidates) {
+  Prover pv(m);
+  for (const auto& dep : candidates.ods()) {
+    if (!pv.Implies(dep)) return false;
+  }
+  return true;
+}
+
+bool EquivalentSets(const DependencySet& m1, const DependencySet& m2) {
+  return ImpliesAll(m1, m2) && ImpliesAll(m2, m1);
+}
+
+DependencySet RemoveRedundant(const DependencySet& m) {
+  std::vector<OrderDependency> kept = m.ods();
+  // Greedily try to drop each OD; keep the drop if the rest still implies it.
+  for (size_t i = 0; i < kept.size();) {
+    std::vector<OrderDependency> rest;
+    rest.reserve(kept.size() - 1);
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) rest.push_back(kept[j]);
+    }
+    Prover pv(DependencySet{rest});
+    if (pv.Implies(kept[i])) {
+      kept = std::move(rest);
+      // Do not advance: position i now holds the next candidate.
+    } else {
+      ++i;
+    }
+  }
+  return DependencySet(std::move(kept));
+}
+
+DependencySet Normalize(const DependencySet& m) {
+  DependencySet out;
+  for (const auto& dep : m.ods()) {
+    OrderDependency normalized(dep.lhs.RemoveDuplicates(),
+                               dep.rhs.RemoveDuplicates());
+    if (!out.Contains(normalized)) out.Add(std::move(normalized));
+  }
+  return out;
+}
+
+bool IsTrivial(const OrderDependency& dep) {
+  Prover empty((DependencySet()));
+  return empty.Implies(dep);
+}
+
+}  // namespace prover
+}  // namespace od

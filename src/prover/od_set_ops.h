@@ -1,0 +1,34 @@
+#ifndef OD_PROVER_OD_SET_OPS_H_
+#define OD_PROVER_OD_SET_OPS_H_
+
+#include "core/dependency.h"
+
+namespace od {
+namespace prover {
+
+/// Utilities over whole sets of ODs, in the sense of Definition 9 and the
+/// design-time use cases sketched in Section 6 (constraint management and
+/// normalization work with *sets* of prescribed dependencies).
+
+/// ℳ₁ and ℳ₂ are equivalent (Definition 9): each implies every member of
+/// the other.
+bool EquivalentSets(const DependencySet& m1, const DependencySet& m2);
+
+/// `m` implies every OD in `candidates`.
+bool ImpliesAll(const DependencySet& m, const DependencySet& candidates);
+
+/// Removes ODs implied by the remaining ones (a non-redundant cover of ℳ;
+/// greedy, order-dependent, but always equivalent to the input).
+DependencySet RemoveRedundant(const DependencySet& m);
+
+/// Normalizes every OD: duplicate attributes removed from both sides (OD3)
+/// and exact duplicates of earlier ODs dropped. Equivalent to the input.
+DependencySet Normalize(const DependencySet& m);
+
+/// Trivial ODs (satisfied by every instance, e.g. XY ↦ X): ℳ-independent.
+bool IsTrivial(const OrderDependency& dep);
+
+}  // namespace prover
+}  // namespace od
+
+#endif  // OD_PROVER_OD_SET_OPS_H_

@@ -1,0 +1,62 @@
+#include "prover/prover.h"
+
+namespace od {
+namespace prover {
+
+Prover::Prover(DependencySet m)
+    : m_(std::move(m)),
+      fds_(fd::FdProjection(m_)),
+      universe_(m_.Attributes()) {}
+
+bool Prover::Implies(const OrderDependency& dep) const {
+  auto it = cache_.find(dep);
+  if (it != cache_.end()) return it->second;
+  ++search_count_;
+  const bool implied =
+      !FindFalsifyingModel(m_, dep, universe_).has_value();
+  cache_.emplace(dep, implied);
+  return implied;
+}
+
+bool Prover::Implies(const AttributeList& lhs,
+                     const AttributeList& rhs) const {
+  return Implies(OrderDependency(lhs, rhs));
+}
+
+bool Prover::OrderEquivalent(const AttributeList& x,
+                             const AttributeList& y) const {
+  return Implies(x, y) && Implies(y, x);
+}
+
+bool Prover::OrderCompatible(const AttributeList& x,
+                             const AttributeList& y) const {
+  return OrderEquivalent(x.Concat(y), y.Concat(x));
+}
+
+bool Prover::ImpliesFd(const AttributeSet& lhs,
+                       const AttributeSet& rhs) const {
+  return fds_.Implies(lhs, rhs);
+}
+
+bool Prover::IsConstant(AttributeId a) const {
+  return Implies(OrderDependency(AttributeList::EmptyList(),
+                                 AttributeList({a})));
+}
+
+AttributeSet Prover::Constants() const {
+  AttributeSet out;
+  for (AttributeId a : universe_.ToVector()) {
+    if (IsConstant(a)) out.Add(a);
+  }
+  return out;
+}
+
+std::optional<Relation> Prover::Counterexample(
+    const OrderDependency& dep) const {
+  auto model = FindFalsifyingModel(m_, dep, universe_);
+  if (!model) return std::nullopt;
+  return model->ToRelation();
+}
+
+}  // namespace prover
+}  // namespace od

@@ -1,0 +1,68 @@
+#ifndef OD_PROVER_PROVER_H_
+#define OD_PROVER_PROVER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/dependency.h"
+#include "core/relation.h"
+#include "fd/fd_set.h"
+#include "prover/two_row_model.h"
+
+namespace od {
+namespace prover {
+
+/// The "theorem prover" the paper lists as its first future-work item:
+/// given a set of prescribed ODs ℳ and an arbitrary dependency X ↦ Y,
+/// efficiently decide whether ℳ logically implies X ↦ Y.
+///
+/// Decision procedure (exact): two-row model search (see two_row_model.h).
+/// FD-style questions (split side) are answered in polynomial time through
+/// the FD projection (justified by Theorem 16); the general question falls
+/// back to the exponential-but-pruned model search, with memoization.
+class Prover {
+ public:
+  explicit Prover(DependencySet m);
+
+  const DependencySet& deps() const { return m_; }
+  const fd::FdSet& fd_projection() const { return fds_; }
+
+  /// ℳ ⊨ X ↦ Y.
+  bool Implies(const OrderDependency& dep) const;
+  bool Implies(const AttributeList& lhs, const AttributeList& rhs) const;
+
+  /// ℳ ⊨ X ↔ Y.
+  bool OrderEquivalent(const AttributeList& x, const AttributeList& y) const;
+
+  /// ℳ ⊨ X ~ Y (Definition 5: XY ↔ YX).
+  bool OrderCompatible(const AttributeList& x, const AttributeList& y) const;
+
+  /// ℳ ⊨ set(lhs) → set(rhs) — the functional-dependency consequence,
+  /// decided in polynomial time via attribute-set closure.
+  bool ImpliesFd(const AttributeSet& lhs, const AttributeSet& rhs) const;
+
+  /// ℳ ⊨ [] ↦ [a] (Definition 18: `a` is a constant).
+  bool IsConstant(AttributeId a) const;
+  /// All constant attributes among those mentioned in ℳ.
+  AttributeSet Constants() const;
+
+  /// A two-row relation satisfying ℳ and falsifying `dep`, if ℳ ⊭ dep.
+  std::optional<Relation> Counterexample(const OrderDependency& dep) const;
+
+  /// Number of model searches actually executed (cache misses); exposed for
+  /// benchmarking.
+  int64_t search_count() const { return search_count_; }
+
+ private:
+  DependencySet m_;
+  fd::FdSet fds_;
+  AttributeSet universe_;
+  mutable std::map<OrderDependency, bool> cache_;
+  mutable int64_t search_count_ = 0;
+};
+
+}  // namespace prover
+}  // namespace od
+
+#endif  // OD_PROVER_PROVER_H_

@@ -1,0 +1,122 @@
+#include "warehouse/date_dim.h"
+
+namespace od {
+namespace warehouse {
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);  // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+int WeekdayFromDays(int64_t z) {
+  // 1970-01-01 was a Thursday (weekday 3 with Monday = 0).
+  return static_cast<int>(((z % 7) + 7 + 3) % 7);
+}
+
+bool IsLeapYear(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int LastDayOfMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+engine::Table GenerateDateDim(int start_year, int num_years,
+                              int64_t first_sk) {
+  engine::Schema schema;
+  schema.Add("d_date_sk", engine::DataType::kInt64);
+  schema.Add("d_date", engine::DataType::kInt64);
+  schema.Add("d_year", engine::DataType::kInt64);
+  schema.Add("d_quarter", engine::DataType::kInt64);
+  schema.Add("d_moy", engine::DataType::kInt64);
+  schema.Add("d_dom", engine::DataType::kInt64);
+  schema.Add("d_doy", engine::DataType::kInt64);
+  schema.Add("d_woy", engine::DataType::kInt64);
+  schema.Add("d_dow", engine::DataType::kInt64);
+  schema.Add("d_quarter_name", engine::DataType::kString);
+  engine::Table t(schema);
+
+  static const char* kQuarterNames[] = {"first", "second", "third", "fourth"};
+
+  const int64_t start = DaysFromCivil(start_year, 1, 1);
+  const int64_t end = DaysFromCivil(start_year + num_years, 1, 1);
+  int64_t sk = first_sk;
+  const DateDimColumns c;
+  for (int64_t day = start; day < end; ++day, ++sk) {
+    int y, m, d;
+    CivilFromDays(day, &y, &m, &d);
+    const int64_t doy = day - DaysFromCivil(y, 1, 1) + 1;
+    const int64_t woy = (doy - 1) / 7 + 1;
+    const int quarter = (m - 1) / 3 + 1;
+    t.col(c.d_date_sk).AppendInt(sk);
+    t.col(c.d_date).AppendInt(day);
+    t.col(c.d_year).AppendInt(y);
+    t.col(c.d_quarter).AppendInt(quarter);
+    t.col(c.d_moy).AppendInt(m);
+    t.col(c.d_dom).AppendInt(d);
+    t.col(c.d_doy).AppendInt(doy);
+    t.col(c.d_woy).AppendInt(woy);
+    t.col(c.d_dow).AppendInt(WeekdayFromDays(day));
+    t.col(c.d_quarter_name).AppendString(kQuarterNames[quarter - 1]);
+    t.FinishRow();
+  }
+  t.SetRowCount(end - start);
+  t.SetOrdering({c.d_date_sk});
+  return t;
+}
+
+DependencySet DateDimOds() {
+  const DateDimColumns c;
+  DependencySet m;
+  // Surrogate keys are assigned in date order.
+  m.AddEquivalence(AttributeList({c.d_date_sk}), AttributeList({c.d_date}));
+  // The calendar hierarchies of Figure 2, rooted at the date itself.
+  m.AddEquivalence(AttributeList({c.d_date}),
+                   AttributeList({c.d_year, c.d_moy, c.d_dom}));
+  m.AddEquivalence(AttributeList({c.d_date}),
+                   AttributeList({c.d_year, c.d_doy}));
+  m.Add(AttributeList({c.d_date}), AttributeList({c.d_year, c.d_woy}));
+  // Months refine quarters; days-of-year refine weeks-of-year.
+  m.Add(AttributeList({c.d_moy}), AttributeList({c.d_quarter}));
+  m.Add(AttributeList({c.d_doy}), AttributeList({c.d_woy}));
+  return m;
+}
+
+DependencySet DateDimFdShapedOds() {
+  const DateDimColumns c;
+  DependencySet m;
+  // d_quarter → d_quarter_name and back: the names are a bijective but
+  // order-breaking recoding, so only the FD-shaped ODs hold.
+  m.Add(AttributeList({c.d_quarter}),
+        AttributeList({c.d_quarter, c.d_quarter_name}));
+  m.Add(AttributeList({c.d_quarter_name}),
+        AttributeList({c.d_quarter_name, c.d_quarter}));
+  // d_moy → d_quarter (also available as a full OD in DateDimOds).
+  m.Add(AttributeList({c.d_moy}), AttributeList({c.d_moy, c.d_quarter}));
+  return m;
+}
+
+}  // namespace warehouse
+}  // namespace od

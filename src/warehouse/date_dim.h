@@ -1,0 +1,67 @@
+#ifndef OD_WAREHOUSE_DATE_DIM_H_
+#define OD_WAREHOUSE_DATE_DIM_H_
+
+#include <cstdint>
+
+#include "core/dependency.h"
+#include "engine/table.h"
+
+namespace od {
+namespace warehouse {
+
+/// Proleptic-Gregorian civil-date arithmetic (Howard Hinnant's algorithms):
+/// days are counted from 1970-01-01.
+int64_t DaysFromCivil(int year, int month, int day);
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+/// 0 = Monday ... 6 = Sunday.
+int WeekdayFromDays(int64_t days);
+bool IsLeapYear(int year);
+int LastDayOfMonth(int year, int month);
+
+/// Column layout of the generated date dimension (TPC-DS date_dim style).
+/// d_quarter_name is intentionally a *string* ("first".."fourth") — the
+/// lexicographic trap of Example 1: as strings the quarters sort
+/// first < fourth < second < third, so d_quarter_name is functionally
+/// determined by d_moy but NOT ordered by it, while the numeric d_quarter
+/// is both.
+struct DateDimColumns {
+  engine::ColumnId d_date_sk = 0;       ///< surrogate key (ordered like date)
+  engine::ColumnId d_date = 1;          ///< days since 1970-01-01
+  engine::ColumnId d_year = 2;
+  engine::ColumnId d_quarter = 3;       ///< 1..4
+  engine::ColumnId d_moy = 4;           ///< month of year 1..12
+  engine::ColumnId d_dom = 5;           ///< day of month 1..31
+  engine::ColumnId d_doy = 6;           ///< day of year 1..366
+  engine::ColumnId d_woy = 7;           ///< week of year 1..53 (= ⌈doy/7⌉)
+  engine::ColumnId d_dow = 8;           ///< day of week 0..6 (Monday = 0)
+  engine::ColumnId d_quarter_name = 9;  ///< "first".."fourth" (string!)
+};
+
+/// Generates one row per day for `num_years` years starting at Jan 1 of
+/// `start_year`. Surrogate keys start at `first_sk` and increase by one per
+/// day — the warehouse-design guarantee the paper's rewrite exploits.
+engine::Table GenerateDateDim(int start_year, int num_years,
+                              int64_t first_sk = 2415022);
+
+/// The prescribed ODs of the date dimension — Figure 2's hierarchy plus the
+/// surrogate-key equivalence, stated over the DateDimColumns ids:
+///   [d_date_sk] ↔ [d_date]
+///   [d_date] ↦ [d_year, d_moy, d_dom]        (and the reverse)
+///   [d_date] ↦ [d_year, d_doy]               (and the reverse)
+///   [d_date] ↦ [d_year, d_woy, d_dow-in-week path prefix]
+///   [d_moy] ↦ [d_quarter]                    (months refine quarters)
+///   [d_doy] ↦ [d_woy]
+///   [] none for d_quarter_name: it is only FD-determined by d_quarter.
+/// The set is intentionally redundant the way a DBA would write it; the
+/// prover/axioms derive the rest (e.g. [d_date] ↦ [d_year, d_quarter,
+/// d_moy, d_dom] by the Path theorem).
+DependencySet DateDimOds();
+
+/// The FD d_quarter → d_quarter_name (and d_moy → d_quarter) expressed as
+/// FD-shaped ODs, for optimizers that also track plain FDs.
+DependencySet DateDimFdShapedOds();
+
+}  // namespace warehouse
+}  // namespace od
+
+#endif  // OD_WAREHOUSE_DATE_DIM_H_

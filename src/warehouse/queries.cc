@@ -1,0 +1,78 @@
+#include "warehouse/queries.h"
+
+namespace od {
+namespace warehouse {
+
+std::vector<opt::DateRangeQuery> TpcdsDateQueries(int start_year,
+                                                  int num_years) {
+  const DateDimColumns d;
+  const StoreSalesColumns f;
+  using engine::AggSpec;
+  using engine::Predicate;
+  using P = Predicate::Op;
+
+  auto year_eq = [&](int y) {
+    return Predicate{d.d_year, P::kEq, Value(int64_t{y})};
+  };
+  auto moy_eq = [&](int m) {
+    return Predicate{d.d_moy, P::kEq, Value(int64_t{m})};
+  };
+  auto quarter_eq = [&](int q) {
+    return Predicate{d.d_quarter, P::kEq, Value(int64_t{q})};
+  };
+  auto date_between = [&](int y, int m, int day, int span_days) {
+    const int64_t lo = DaysFromCivil(y, m, day);
+    return Predicate{d.d_date, P::kBetween, Value(lo),
+                     Value(lo + span_days - 1)};
+  };
+  const AggSpec sum_net{AggSpec::Kind::kSum, f.ss_net_paid, "sum_net_paid"};
+  const AggSpec sum_qty{AggSpec::Kind::kSum, f.ss_quantity, "sum_quantity"};
+  const AggSpec avg_price{AggSpec::Kind::kAvg, f.ss_sales_price, "avg_price"};
+  const AggSpec cnt{AggSpec::Kind::kCount, 0, "cnt"};
+  const AggSpec max_price{AggSpec::Kind::kMax, f.ss_sales_price, "max_price"};
+
+  const int y0 = start_year;
+  const int y1 = start_year + (num_years > 1 ? 1 : 0);
+  const int y2 = start_year + (num_years > 2 ? 2 : 0);
+
+  std::vector<opt::DateRangeQuery> queries;
+  auto add = [&](const char* name, std::vector<Predicate> preds,
+                 std::vector<engine::ColumnId> groups,
+                 std::vector<AggSpec> aggs) {
+    queries.push_back(opt::DateRangeQuery{name, std::move(preds),
+                                          f.ss_sold_date_sk, d.d_date_sk,
+                                          std::move(groups), std::move(aggs)});
+  };
+
+  // Year-equality predicates (the q3/q42/q52 family).
+  add("q01_year_store_sum", {year_eq(y0)}, {f.ss_store_sk}, {sum_net});
+  add("q02_year_store_qty", {year_eq(y1)}, {f.ss_store_sk}, {sum_qty});
+  add("q03_year_store_avg", {year_eq(y2)}, {f.ss_store_sk}, {avg_price});
+  add("q04_year_item_sum", {year_eq(y0)}, {f.ss_item_sk}, {sum_net});
+  add("q05_year_store_cnt", {year_eq(y1)}, {f.ss_store_sk}, {cnt});
+
+  // Year + month predicates (the q55/q36 family).
+  add("q06_ym_store_sum", {year_eq(y0), moy_eq(11)}, {f.ss_store_sk},
+      {sum_net});
+  add("q07_ym_item_qty", {year_eq(y0), moy_eq(12)}, {f.ss_item_sk},
+      {sum_qty});
+  add("q08_ym_store_avg", {year_eq(y1), moy_eq(6)}, {f.ss_store_sk},
+      {avg_price});
+  add("q09_ym_store_sum", {year_eq(y2), moy_eq(1)}, {f.ss_store_sk},
+      {sum_net, cnt});
+
+  // Date-range predicates (the 30/90-day window family).
+  add("q10_range30_store_sum", {date_between(y0, 3, 1, 30)}, {f.ss_store_sk},
+      {sum_net});
+  add("q11_range90_item_cnt", {date_between(y1, 2, 1, 90)}, {f.ss_item_sk},
+      {cnt});
+  add("q12_quarter_store_sum", {year_eq(y0), quarter_eq(2)}, {f.ss_store_sk},
+      {sum_net, sum_qty});
+  add("q13_range365_store_max", {date_between(y0, 7, 1, 365)},
+      {f.ss_store_sk}, {max_price});
+
+  return queries;
+}
+
+}  // namespace warehouse
+}  // namespace od

@@ -1,0 +1,31 @@
+#ifndef OD_WAREHOUSE_QUERIES_H_
+#define OD_WAREHOUSE_QUERIES_H_
+
+#include <vector>
+
+#include "optimizer/date_rewrite.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/star_schema.h"
+
+namespace od {
+namespace warehouse {
+
+/// The thirteen TPC-DS-style query templates matching the surrogate-key
+/// rewrite of [18] (Section 2.3 reports thirteen TPC-DS queries matched the
+/// rewrite's conditions, every one of which benefited, averaging 48%).
+/// Each is a fact ⋈ date_dim aggregate whose dimension predicate is one of
+/// the three calendar shapes found in the benchmark:
+///   * a year equality                (e.g. q3, q42: d_year = 2000)
+///   * a year + month-of-year pair    (e.g. q55: d_moy = 11, d_year = 1999)
+///   * a date BETWEEN range           (e.g. q7-style 30-day windows)
+/// The group-by columns and aggregates vary across templates.
+///
+/// `start_year`/`num_years` must match the generated date dimension so the
+/// predicates select non-empty ranges.
+std::vector<opt::DateRangeQuery> TpcdsDateQueries(int start_year,
+                                                  int num_years);
+
+}  // namespace warehouse
+}  // namespace od
+
+#endif  // OD_WAREHOUSE_QUERIES_H_

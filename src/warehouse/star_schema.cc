@@ -1,0 +1,77 @@
+#include "warehouse/star_schema.h"
+
+#include <random>
+
+namespace od {
+namespace warehouse {
+
+engine::Table GenerateStoreSales(int64_t num_rows, int64_t first_sk,
+                                 int64_t num_days, int num_items,
+                                 int num_stores, uint32_t seed) {
+  engine::Schema schema;
+  schema.Add("ss_sold_date_sk", engine::DataType::kInt64);
+  schema.Add("ss_item_sk", engine::DataType::kInt64);
+  schema.Add("ss_store_sk", engine::DataType::kInt64);
+  schema.Add("ss_quantity", engine::DataType::kInt64);
+  schema.Add("ss_sales_price", engine::DataType::kDouble);
+  schema.Add("ss_net_paid", engine::DataType::kDouble);
+  engine::Table t(schema);
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> day(0, num_days - 1);
+  std::uniform_int_distribution<int> item(1, num_items);
+  std::uniform_int_distribution<int> store(1, num_stores);
+  std::uniform_int_distribution<int> quantity(1, 20);
+  std::uniform_real_distribution<double> price(0.5, 200.0);
+
+  const StoreSalesColumns c;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const int q = quantity(rng);
+    const double p = price(rng);
+    t.col(c.ss_sold_date_sk).AppendInt(first_sk + day(rng));
+    t.col(c.ss_item_sk).AppendInt(item(rng));
+    t.col(c.ss_store_sk).AppendInt(store(rng));
+    t.col(c.ss_quantity).AppendInt(q);
+    t.col(c.ss_sales_price).AppendDouble(p);
+    t.col(c.ss_net_paid).AppendDouble(q * p);
+    t.FinishRow();
+  }
+  t.SetRowCount(num_rows);
+  return t;
+}
+
+engine::Table GenerateItems(int num_items, uint32_t seed) {
+  engine::Schema schema;
+  schema.Add("i_item_sk", engine::DataType::kInt64);
+  schema.Add("i_category", engine::DataType::kInt64);
+  schema.Add("i_price", engine::DataType::kDouble);
+  engine::Table t(schema);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> category(0, 9);
+  std::uniform_real_distribution<double> price(0.5, 200.0);
+  for (int i = 1; i <= num_items; ++i) {
+    t.col(0).AppendInt(i);
+    t.col(1).AppendInt(category(rng));
+    t.col(2).AppendDouble(price(rng));
+    t.FinishRow();
+  }
+  return t;
+}
+
+engine::Table GenerateStores(int num_stores, uint32_t seed) {
+  engine::Schema schema;
+  schema.Add("s_store_sk", engine::DataType::kInt64);
+  schema.Add("s_state", engine::DataType::kInt64);
+  engine::Table t(schema);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> state(0, 49);
+  for (int i = 1; i <= num_stores; ++i) {
+    t.col(0).AppendInt(i);
+    t.col(1).AppendInt(state(rng));
+    t.FinishRow();
+  }
+  return t;
+}
+
+}  // namespace warehouse
+}  // namespace od

@@ -1,0 +1,42 @@
+#ifndef OD_WAREHOUSE_STAR_SCHEMA_H_
+#define OD_WAREHOUSE_STAR_SCHEMA_H_
+
+#include <cstdint>
+
+#include "engine/table.h"
+
+namespace od {
+namespace warehouse {
+
+/// A TPC-DS-flavored miniature star schema: a store_sales fact table keyed
+/// by the date-dimension surrogate key, plus small item and store
+/// dimensions. This is the substitute substrate for the paper's TPC-DS
+/// evaluation (see DESIGN.md): the thirteen rewritable queries only exercise
+/// the fact ⋈ date_dim shape with natural-date predicates, which this
+/// generator reproduces exactly.
+struct StoreSalesColumns {
+  engine::ColumnId ss_sold_date_sk = 0;
+  engine::ColumnId ss_item_sk = 1;
+  engine::ColumnId ss_store_sk = 2;
+  engine::ColumnId ss_quantity = 3;
+  engine::ColumnId ss_sales_price = 4;
+  engine::ColumnId ss_net_paid = 5;
+};
+
+/// Generates `num_rows` sales uniformly over the surrogate keys
+/// [first_sk, first_sk + num_days), with `num_items` items, `num_stores`
+/// stores, and deterministic pseudo-random measures.
+engine::Table GenerateStoreSales(int64_t num_rows, int64_t first_sk,
+                                 int64_t num_days, int num_items,
+                                 int num_stores, uint32_t seed);
+
+/// Small item dimension: i_item_sk, i_category (0..9), i_price.
+engine::Table GenerateItems(int num_items, uint32_t seed);
+
+/// Small store dimension: s_store_sk, s_state (0..49).
+engine::Table GenerateStores(int num_stores, uint32_t seed);
+
+}  // namespace warehouse
+}  // namespace od
+
+#endif  // OD_WAREHOUSE_STAR_SCHEMA_H_

@@ -1,0 +1,80 @@
+#include "warehouse/tax_schedule.h"
+
+#include <algorithm>
+#include <random>
+
+namespace od {
+namespace warehouse {
+
+namespace {
+
+/// A progressive schedule: bracket thresholds and marginal rates.
+struct Bracket {
+  int64_t threshold;
+  int64_t rate_percent;
+};
+constexpr Bracket kSchedule[] = {
+    {0, 10}, {11000, 12}, {44725, 22}, {95375, 24}, {182100, 32},
+};
+constexpr int kNumBrackets = 5;
+
+int BracketOf(int64_t income) {
+  int b = 1;
+  for (int i = 1; i < kNumBrackets; ++i) {
+    if (income >= kSchedule[i].threshold) b = i + 1;
+  }
+  return b;
+}
+
+double TaxOf(int64_t income) {
+  double tax = 0;
+  for (int i = 0; i < kNumBrackets; ++i) {
+    const int64_t lo = kSchedule[i].threshold;
+    const int64_t hi =
+        i + 1 < kNumBrackets ? kSchedule[i + 1].threshold : income;
+    if (income <= lo) break;
+    const int64_t taxable = std::min(income, hi) - lo;
+    tax += taxable * (kSchedule[i].rate_percent / 100.0);
+  }
+  return tax;
+}
+
+}  // namespace
+
+engine::Table GenerateTaxTable(int64_t num_rows, int64_t max_income,
+                               uint32_t seed) {
+  engine::Schema schema;
+  schema.Add("income", engine::DataType::kInt64);
+  schema.Add("bracket", engine::DataType::kInt64);
+  schema.Add("rate", engine::DataType::kInt64);
+  schema.Add("tax", engine::DataType::kDouble);
+  engine::Table t(schema);
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> income_dist(0, max_income);
+  const TaxColumns c;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    const int64_t income = income_dist(rng);
+    const int bracket = BracketOf(income);
+    t.col(c.income).AppendInt(income);
+    t.col(c.bracket).AppendInt(bracket);
+    t.col(c.rate).AppendInt(kSchedule[bracket - 1].rate_percent);
+    t.col(c.tax).AppendDouble(TaxOf(income));
+    t.FinishRow();
+  }
+  return t;
+}
+
+DependencySet TaxOds() {
+  const TaxColumns c;
+  DependencySet m;
+  m.Add(AttributeList({c.income}), AttributeList({c.bracket}));
+  m.Add(AttributeList({c.income}), AttributeList({c.tax}));
+  // Brackets determine marginal rates, and rates rise with brackets.
+  m.Add(AttributeList({c.bracket}), AttributeList({c.rate}));
+  m.Add(AttributeList({c.rate}), AttributeList({c.bracket}));
+  return m;
+}
+
+}  // namespace warehouse
+}  // namespace od

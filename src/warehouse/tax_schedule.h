@@ -1,0 +1,38 @@
+#ifndef OD_WAREHOUSE_TAX_SCHEDULE_H_
+#define OD_WAREHOUSE_TAX_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "core/dependency.h"
+#include "engine/table.h"
+
+namespace od {
+namespace warehouse {
+
+/// Example 5 of the paper: a Taxes table with taxable income, tax bracket,
+/// rate percentile, and tax owed. Brackets rise with income and taxes rise
+/// with income, giving the ODs
+///   [income] ↦ [bracket],  [income] ↦ [tax],
+/// from which [income] ↦ [bracket, tax] follows by Union (Theorem 2), so an
+/// ORDER BY bracket, tax can be answered by an income-ordered index scan
+/// with no sort.
+struct TaxColumns {
+  engine::ColumnId income = 0;   ///< taxable income (int dollars)
+  engine::ColumnId bracket = 1;  ///< 1..n_brackets, step function of income
+  engine::ColumnId rate = 2;     ///< marginal rate in percent
+  engine::ColumnId tax = 3;      ///< tax owed (double, monotone in income)
+};
+
+/// Generates `num_rows` taxpayers with incomes spread over [0, max_income],
+/// in shuffled (physical) order so that sorting is genuinely required
+/// without the index. A progressive 5-bracket schedule computes tax.
+engine::Table GenerateTaxTable(int64_t num_rows, int64_t max_income,
+                               uint32_t seed);
+
+/// The prescribed constraints of Example 5.
+DependencySet TaxOds();
+
+}  // namespace warehouse
+}  // namespace od
+
+#endif  // OD_WAREHOUSE_TAX_SCHEDULE_H_

@@ -1,0 +1,122 @@
+// Section 4.2: functional dependencies are subsumed by order dependencies.
+// These tests mechanize Lemma 1, Theorem 13, and the derivations of
+// Armstrong's three axioms inside the OD system (Theorem 16).
+
+#include <gtest/gtest.h>
+
+#include "axioms/system.h"
+#include "axioms/theorems.h"
+#include "core/witness.h"
+#include "fd/fd_set.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace axioms {
+namespace {
+
+// Lemma 1: any instance satisfying X ↦ Y satisfies set(X) → set(Y).
+TEST(FdSubsumptionTest, Lemma1OdImpliesFd) {
+  Relation r = Relation::FromInts(
+      {{1, 10, 100}, {2, 20, 100}, {2, 20, 100}, {3, 5, 7}});
+  const OrderDependency dep(AttributeList({0}), AttributeList({1, 2}));
+  if (Satisfies(r, dep)) {
+    EXPECT_TRUE(fd::Satisfies(
+        r, fd::FunctionalDependency(AttributeSet{0}, AttributeSet{1, 2})));
+  }
+  // And with the prover: X ↦ Y semantically entails the FD-shaped X ↦ XY.
+  DependencySet m;
+  m.Add(dep);
+  prover::Prover pv(m);
+  EXPECT_TRUE(pv.Implies(AttributeList({0}), AttributeList({0, 1, 2})));
+}
+
+// Theorem 13: F → G holds iff X ↦ XY holds for lists X, Y ordering F, G —
+// checked per-instance over randomized orderings.
+TEST(FdSubsumptionTest, Theorem13Correspondence) {
+  Relation holds = Relation::FromInts({{1, 7}, {1, 7}, {2, 9}});
+  EXPECT_TRUE(fd::Satisfies(
+      holds, fd::FunctionalDependency(AttributeSet{0}, AttributeSet{1})));
+  EXPECT_TRUE(Satisfies(
+      holds, OrderDependency(AttributeList({0}), AttributeList({0, 1}))));
+
+  Relation fails = Relation::FromInts({{1, 7}, {1, 8}});
+  EXPECT_FALSE(fd::Satisfies(
+      fails, fd::FunctionalDependency(AttributeSet{0}, AttributeSet{1})));
+  EXPECT_FALSE(Satisfies(
+      fails, OrderDependency(AttributeList({0}), AttributeList({0, 1}))));
+
+  // FD-shaped ODs are insensitive to the list order chosen (Permutation).
+  Relation multi = Relation::FromInts(
+      {{1, 2, 3, 4}, {1, 2, 3, 4}, {5, 6, 7, 8}, {5, 6, 7, 9}});
+  const bool fd_holds = fd::Satisfies(
+      multi, fd::FunctionalDependency(AttributeSet{0, 1}, AttributeSet{2}));
+  for (const auto& x : {AttributeList({0, 1}), AttributeList({1, 0})}) {
+    EXPECT_EQ(fd_holds, Satisfies(multi, OrderDependency(
+                                             x, x.Concat(AttributeList({2})))));
+  }
+}
+
+TEST(FdSubsumptionTest, ArmstrongReflexivityDerived) {
+  // G ⊆ F ⟹ F → G, derived with Normalization only.
+  Proof p = ArmstrongReflexivity(AttributeSet{0, 1, 2}, AttributeSet{1});
+  std::string error;
+  EXPECT_TRUE(CheckProofSemantically(p, &error)) << error << p.ToString();
+  // The conclusion is the FD-shaped OD X ↦ XY.
+  EXPECT_EQ(p.Conclusions()[0],
+            OrderDependency(AttributeList({0, 1, 2}),
+                            AttributeList({0, 1, 2, 1})));
+  // No premises at all: it is a theorem.
+  EXPECT_EQ(p.Givens().Size(), 0);
+}
+
+TEST(FdSubsumptionTest, ArmstrongAugmentationDerived) {
+  // F → G ⟹ FZ → GZ.
+  Proof p = ArmstrongAugmentation(AttributeSet{0}, AttributeSet{1},
+                                  AttributeSet{2});
+  std::string error;
+  EXPECT_TRUE(CheckProofSemantically(p, &error)) << error << p.ToString();
+  // Conclusion XZ ↦ XZYZ encodes {F,Z} → {G,Z}.
+  EXPECT_EQ(p.Conclusion(),
+            OrderDependency(AttributeList({0, 2}),
+                            AttributeList({0, 2, 1, 2})));
+}
+
+TEST(FdSubsumptionTest, ArmstrongTransitivityDerived) {
+  // F → G, G → H ⟹ F → H.
+  Proof p = ArmstrongTransitivity(AttributeSet{0}, AttributeSet{1},
+                                  AttributeSet{2});
+  std::string error;
+  EXPECT_TRUE(CheckProofSemantically(p, &error)) << error << p.ToString();
+  EXPECT_EQ(p.Conclusion(),
+            OrderDependency(AttributeList({0}), AttributeList({0, 2})));
+}
+
+// Completeness over FDs: whatever the FD projection derives, the OD prover
+// confirms on FD-shaped ODs, and vice versa.
+TEST(FdSubsumptionTest, ProverMatchesFdClosure) {
+  DependencySet m;
+  m.Add(AttributeList({0}), AttributeList({1}));        // A ↦ B
+  m.Add(AttributeList({1, 2}), AttributeList({1, 2, 3}));  // BC ↦ BCD
+  prover::Prover pv(m);
+  const fd::FdSet fds = fd::FdProjection(m);
+  const AttributeSet universe{0, 1, 2, 3};
+  const std::vector<AttributeId> attrs = universe.ToVector();
+  // Sweep all lhs subsets × single rhs attributes.
+  for (uint64_t mask = 0; mask < 16; ++mask) {
+    AttributeSet f;
+    for (int i = 0; i < 4; ++i) {
+      if (mask & (uint64_t{1} << i)) f.Add(attrs[i]);
+    }
+    for (AttributeId g : attrs) {
+      const bool by_fd = fds.Implies(f, AttributeSet{g});
+      const AttributeList x(f.ToVector());
+      const bool by_od = pv.Implies(x, x.Append(g));
+      EXPECT_EQ(by_fd, by_od)
+          << ToString(f) << " -> " << g;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace axioms
+}  // namespace od

@@ -1,0 +1,153 @@
+// Empirical soundness of the six axioms (Theorem 1 / Lemmas 2–7): on random
+// relation instances, every axiom instantiation whose premises hold must
+// have a conclusion that holds. This mirrors the paper's soundness proofs
+// with randomized model checking instead of symbol pushing.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "axioms/theorems.h"
+#include "core/witness.h"
+
+namespace od {
+namespace axioms {
+namespace {
+
+Relation RandomRelation(std::mt19937* rng, int attrs, int rows,
+                        int64_t domain) {
+  std::uniform_int_distribution<int64_t> val(0, domain - 1);
+  Relation r(attrs);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<int64_t> row(attrs);
+    for (auto& v : row) v = val(*rng);
+    r.AddIntRow(row);
+  }
+  return r;
+}
+
+AttributeList RandomList(std::mt19937* rng, int attrs, int max_len) {
+  std::uniform_int_distribution<int> len(0, max_len);
+  std::uniform_int_distribution<int> attr(0, attrs - 1);
+  const int n = len(*rng);
+  std::vector<AttributeId> out;
+  AttributeSet used;
+  for (int i = 0; i < n; ++i) {
+    const AttributeId a = attr(*rng);
+    if (!used.Contains(a)) {
+      used.Add(a);
+      out.push_back(a);
+    }
+  }
+  return AttributeList(std::move(out));
+}
+
+class AxiomSoundnessTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int kAttrs = 4;
+  std::mt19937 rng_{static_cast<uint32_t>(GetParam())};
+};
+
+TEST_P(AxiomSoundnessTest, Reflexivity) {
+  // OD1 has no premises: XY ↦ X must hold in EVERY instance.
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = RandomRelation(&rng_, kAttrs, 6, 3);
+    const AttributeList x = RandomList(&rng_, kAttrs, 2);
+    const AttributeList y = RandomList(&rng_, kAttrs, 2);
+    EXPECT_TRUE(Satisfies(r, OrderDependency(x.Concat(y), x)));
+  }
+}
+
+TEST_P(AxiomSoundnessTest, Normalization) {
+  // OD3 has no premises: TXUXV ↔ TXUV must hold in EVERY instance.
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation r = RandomRelation(&rng_, kAttrs, 6, 3);
+    const AttributeList t = RandomList(&rng_, kAttrs, 1);
+    const AttributeList x = RandomList(&rng_, kAttrs, 2);
+    const AttributeList u = RandomList(&rng_, kAttrs, 1);
+    const AttributeList v = RandomList(&rng_, kAttrs, 1);
+    const AttributeList lhs = t.Concat(x).Concat(u).Concat(x).Concat(v);
+    const AttributeList rhs = t.Concat(x).Concat(u).Concat(v);
+    EXPECT_TRUE(SatisfiesEquivalence(r, lhs, rhs));
+  }
+}
+
+TEST_P(AxiomSoundnessTest, Prefix) {
+  // OD2: if r ⊨ X ↦ Y then r ⊨ ZX ↦ ZY.
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation r = RandomRelation(&rng_, kAttrs, 5, 2);
+    const AttributeList x = RandomList(&rng_, kAttrs, 2);
+    const AttributeList y = RandomList(&rng_, kAttrs, 2);
+    const AttributeList z = RandomList(&rng_, kAttrs, 2);
+    if (!Satisfies(r, OrderDependency(x, y))) continue;
+    EXPECT_TRUE(Satisfies(r, OrderDependency(z.Concat(x), z.Concat(y))))
+        << "X ↦ Y held but ZX ↦ ZY failed on\n"
+        << r.ToString();
+  }
+}
+
+TEST_P(AxiomSoundnessTest, Transitivity) {
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation r = RandomRelation(&rng_, kAttrs, 5, 2);
+    const AttributeList x = RandomList(&rng_, kAttrs, 2);
+    const AttributeList y = RandomList(&rng_, kAttrs, 2);
+    const AttributeList z = RandomList(&rng_, kAttrs, 2);
+    if (!Satisfies(r, OrderDependency(x, y))) continue;
+    if (!Satisfies(r, OrderDependency(y, z))) continue;
+    EXPECT_TRUE(Satisfies(r, OrderDependency(x, z)));
+  }
+}
+
+TEST_P(AxiomSoundnessTest, Suffix) {
+  // OD5: if r ⊨ X ↦ Y then r ⊨ X ↔ YX.
+  for (int trial = 0; trial < 40; ++trial) {
+    Relation r = RandomRelation(&rng_, kAttrs, 5, 2);
+    const AttributeList x = RandomList(&rng_, kAttrs, 2);
+    const AttributeList y = RandomList(&rng_, kAttrs, 2);
+    if (!Satisfies(r, OrderDependency(x, y))) continue;
+    EXPECT_TRUE(SatisfiesEquivalence(r, x, y.Concat(x)));
+  }
+}
+
+TEST_P(AxiomSoundnessTest, Chain) {
+  // OD6 with a single-link chain: premises X ~ Y, Y ~ Z, YX ~ YZ must
+  // entail X ~ Z on every instance satisfying them.
+  for (int trial = 0; trial < 60; ++trial) {
+    Relation r = RandomRelation(&rng_, 3, 4, 2);
+    const AttributeList x({0}), y({1}), z({2});
+    bool premises = true;
+    for (const auto& dep : ChainPremises(x, {y}, z)) {
+      if (!Satisfies(r, dep)) {
+        premises = false;
+        break;
+      }
+    }
+    if (!premises) continue;
+    EXPECT_TRUE(SatisfiesCompatibility(r, x, z))
+        << "Chain premises held but X ~ Z failed on\n"
+        << r.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxiomSoundnessTest, ::testing::Range(1, 11));
+
+// Figure 3 of the paper: the two-row pattern where A and C swap while every
+// Bi disagrees — it must falsify one of the Chain premises.
+TEST(ChainFigure3Test, SwapPatternViolatesPremises) {
+  // A B1 B2 C with A=0→1, Bi=0→1, C=1→0 (the figure's rows).
+  Relation r = Relation::FromInts({{0, 0, 0, 1}, {1, 1, 1, 0}});
+  const AttributeList a({0}), b1({1}), b2({2}), c({3});
+  bool all_premises_hold = true;
+  for (const auto& dep : ChainPremises(a, {b1, b2}, c)) {
+    if (!Satisfies(r, dep)) {
+      all_premises_hold = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_premises_hold);
+  EXPECT_FALSE(SatisfiesCompatibility(r, a, c));
+}
+
+}  // namespace
+}  // namespace axioms
+}  // namespace od

@@ -1,0 +1,246 @@
+#include "axioms/theorems.h"
+
+#include <gtest/gtest.h>
+
+#include "axioms/system.h"
+#include "core/witness.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace axioms {
+namespace {
+
+// Shared list fixtures. Attribute ids 0..5 ~ A..F.
+const AttributeList kA({0});
+const AttributeList kB({1});
+const AttributeList kC({2});
+const AttributeList kAB({0, 1});
+const AttributeList kBA({1, 0});
+const AttributeList kCD({2, 3});
+const AttributeList kE({4});
+const AttributeList kEmpty;
+
+void ExpectChecks(const Proof& proof) {
+  std::string error;
+  EXPECT_TRUE(CheckProofSemantically(proof, &error))
+      << error << "\n"
+      << proof.ToString();
+}
+
+TEST(TheoremsTest, UnionDerivationChecks) {
+  Proof p = Union(kA, kB, kC);
+  EXPECT_EQ(p.Conclusion(),
+            OrderDependency(kA, kB.Concat(kC)));  // A ↦ BC
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, UnionWithLists) {
+  Proof p = Union(kAB, kCD, kE);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kAB, kCD.Concat(kE)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, AugmentationDerivationChecks) {
+  Proof p = Augmentation(kA, kB, kCD);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA.Concat(kCD), kB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, ShiftDerivationChecks) {
+  // V ↔ W, X ↦ Y ⊢ VX ↦ WY with V=[A], W=[B], X=[C], Y=[E].
+  Proof p = Shift(kA, kB, kC, kE);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA.Concat(kC), kB.Concat(kE)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, ShiftUsesOnlyAxioms) {
+  Proof p = Shift(kA, kB, kC, kE);
+  for (const auto& step : p.steps()) {
+    EXPECT_TRUE(step.rule == Rule::kGiven || IsAxiom(step.rule))
+        << RuleName(step.rule);
+  }
+}
+
+TEST(TheoremsTest, DecompositionDerivationChecks) {
+  Proof p = Decomposition(kA, kB, kCD);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA, kB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, ReplaceDerivationChecks) {
+  Proof p = Replace(kC, kA, kB, kE);  // A ↔ B ⊢ CAE ↔ CBE
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0],
+            OrderDependency(kC.Concat(kA).Concat(kE),
+                            kC.Concat(kB).Concat(kE)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, EliminateDerivationChecks) {
+  // month ↦ quarter: [year, month, quarter] ↔ [year, month].
+  Proof p = Eliminate(kA, kB, kC, kEmpty);
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0],
+            OrderDependency(AttributeList({0, 1, 2}), AttributeList({0, 1})));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, LeftEliminateDerivationChecks) {
+  // The Example 1 rewrite: month ↦ quarter makes
+  // [year, quarter, month] ↔ [year, month].
+  Proof p = LeftEliminate(kA, kC, kB, kEmpty);  // Z=[A], Y=[C], X=[B]
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0],
+            OrderDependency(AttributeList({0, 2, 1}), AttributeList({0, 1})));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, DropDerivationChecks) {
+  Proof p = Drop(kA, kA, kB, kC);  // A ↦ ABC, A ↔ A ⊢ A ↦ AC
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA, kA.Concat(kC)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, DropWithDistinctHead) {
+  Proof p = Drop(kA, kB, kC, kE);  // A ↦ BCE, A ↔ B ⊢ A ↦ BE
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA, kB.Concat(kE)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, PathDerivationChecks) {
+  // X ↦ VT, V ↔ VAB ⊢ X ↦ VAT. Example 4 shape: a date column X with
+  // X ↦ [year, week] and [year] ↔ [year, month] gives
+  // X ↦ [year, month, week].
+  const AttributeList x({5});
+  const AttributeList v({0});   // year
+  const AttributeList a({1});   // month
+  const AttributeList b({2});   // day
+  const AttributeList t({3});   // week
+  Proof p = Path(x, v, a, b, t);
+  EXPECT_EQ(p.Conclusion(),
+            OrderDependency(x, AttributeList({0, 1, 3})));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, PartitionDerivationChecks) {
+  Proof p = Partition(kC, kAB, kBA);
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0], OrderDependency(kAB, kBA));
+  EXPECT_EQ(conclusions[1], OrderDependency(kBA, kAB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, DownwardClosureDerivationChecks) {
+  Proof p = DownwardClosure(kA, kB, kC);  // A ~ BC ⊢ A ~ B
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0], OrderDependency(kAB, kBA));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, PermutationDerivationChecks) {
+  // X ↦ Y ⊢ X' ↦ X'Y' — AB ↦ CD gives BA ↦ BADC.
+  const AttributeList dc({3, 2});
+  Proof p = Permutation(kAB, kCD, kBA, dc);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kBA, kBA.Concat(dc)));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, NormExtendChecks) {
+  Proof p = NormExtend(kAB, kBA);  // AB ↔ ABBA
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0], OrderDependency(kAB, kAB.Concat(kBA)));
+  EXPECT_EQ(conclusions[1], OrderDependency(kAB.Concat(kBA), kAB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, Theorem15ForwardChecks) {
+  Proof p = Theorem15Forward(kA, kB);
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 3u);
+  EXPECT_EQ(conclusions[0], OrderDependency(kA, kAB));  // X ↦ XY
+  EXPECT_EQ(conclusions[1], OrderDependency(kAB, kBA));
+  EXPECT_EQ(conclusions[2], OrderDependency(kBA, kAB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, Theorem15BackwardChecks) {
+  Proof p = Theorem15Backward(kA, kB);
+  EXPECT_EQ(p.Conclusion(), OrderDependency(kA, kB));
+  ExpectChecks(p);
+}
+
+TEST(TheoremsTest, ChainPremisesAndConclusion) {
+  // Single-link chain: A ~ B with the side conditions makes A ~ C.
+  Proof p = Chain(kA, {kB}, kC);
+  auto premises = ChainPremises(kA, {kB}, kC);
+  // X~Y1, Y1~Z, Y1X~Y1Z: three compatibility statements = 6 ODs.
+  EXPECT_EQ(premises.size(), 6u);
+  auto conclusions = p.Conclusions();
+  ASSERT_EQ(conclusions.size(), 2u);
+  EXPECT_EQ(conclusions[0], OrderDependency(AttributeList({0, 2}),
+                                            AttributeList({2, 0})));
+  ExpectChecks(p);  // Chain itself must be semantically sound.
+}
+
+TEST(TheoremsTest, ChainLongerChecks) {
+  Proof p = Chain(kA, {kB, kC}, kE);
+  ExpectChecks(p);
+}
+
+// Every theorem conclusion must also be certified by the model-theoretic
+// prover directly from the theorem's premises (axioms ⊆ semantics).
+TEST(TheoremsTest, ConclusionsFollowSemantically) {
+  const std::vector<Proof> proofs = {
+      Union(kA, kB, kC),       Augmentation(kA, kB, kC),
+      Shift(kA, kB, kC, kE),   Decomposition(kA, kB, kC),
+      Replace(kC, kA, kB, kE), Eliminate(kA, kB, kC, kEmpty),
+      LeftEliminate(kA, kC, kB, kEmpty),
+      Drop(kA, kB, kC, kE),    Path(kE, kA, kB, kC, AttributeList({3})),
+      Partition(kC, kAB, kBA), DownwardClosure(kA, kB, kC),
+      Permutation(kAB, kCD, kBA, AttributeList({3, 2})),
+      Theorem15Forward(kA, kB), Theorem15Backward(kA, kB),
+  };
+  for (const auto& p : proofs) {
+    prover::Prover pv(p.Givens());
+    for (const auto& conclusion : p.Conclusions()) {
+      EXPECT_TRUE(pv.Implies(conclusion))
+          << "not semantically implied: " << conclusion.ToString() << "\n"
+          << p.ToString();
+    }
+  }
+}
+
+TEST(ProofTest, PrintingIncludesRuleNames) {
+  Proof p = Union(kA, kB, kC);
+  const std::string text = p.ToString();
+  EXPECT_NE(text.find("Pref"), std::string::npos);
+  EXPECT_NE(text.find("Suf"), std::string::npos);
+  EXPECT_NE(text.find("Tran"), std::string::npos);
+}
+
+TEST(ProofTest, StructureCheckCatchesBadPremise) {
+  Proof p;
+  p.AddStep(OrderDependency(kA, kB), Rule::kTransitivity, {3});
+  std::string error;
+  EXPECT_FALSE(p.CheckStructure(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProofTest, SemanticCheckerRejectsBogusStep) {
+  Proof p;
+  const int g = p.AddGiven(OrderDependency(kA, kB));
+  p.AddStep(OrderDependency(kB, kA), Rule::kTransitivity, {g});  // bogus
+  std::string error;
+  EXPECT_FALSE(CheckProofSemantically(p, &error));
+  EXPECT_NE(error.find("step 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axioms
+}  // namespace od

@@ -1,0 +1,116 @@
+#include "core/attribute.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dependency.h"
+#include "core/value.h"
+
+namespace od {
+namespace {
+
+TEST(AttributeSetTest, BasicOps) {
+  AttributeSet s{1, 3, 5};
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+  s.Add(2);
+  EXPECT_TRUE(s.Contains(2));
+  s.Remove(1);
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.ToVector(), (std::vector<AttributeId>{2, 3, 5}));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a{0, 1, 2};
+  AttributeSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (AttributeSet{0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), (AttributeSet{2}));
+  EXPECT_EQ(a.Minus(b), (AttributeSet{0, 1}));
+  EXPECT_TRUE((AttributeSet{0, 1}).SubsetOf(a));
+  EXPECT_TRUE((AttributeSet{0, 1}).ProperSubsetOf(a));
+  EXPECT_FALSE(a.ProperSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttributeSet{4}));
+  EXPECT_EQ(AttributeSet::FirstN(3), (AttributeSet{0, 1, 2}));
+}
+
+TEST(AttributeListTest, ConcatAndSlicing) {
+  AttributeList x{0, 1};
+  AttributeList y{2};
+  AttributeList xy = x.Concat(y);
+  EXPECT_EQ(xy, (AttributeList{0, 1, 2}));
+  EXPECT_EQ(xy.Head(), 0);
+  EXPECT_EQ(xy.Tail(), (AttributeList{1, 2}));
+  EXPECT_EQ(xy.Prefix(2), x);
+  EXPECT_EQ(xy.Suffix(2), y);
+  EXPECT_TRUE(x.IsPrefixOf(xy));
+  EXPECT_FALSE(y.IsPrefixOf(xy));
+  EXPECT_EQ(xy.Append(5), (AttributeList{0, 1, 2, 5}));
+  EXPECT_EQ(xy.Prepend(5), (AttributeList{5, 0, 1, 2}));
+}
+
+TEST(AttributeListTest, SetConversionAndDuplicates) {
+  AttributeList l{3, 1, 3, 2, 1};
+  EXPECT_EQ(l.ToSet(), (AttributeSet{1, 2, 3}));
+  EXPECT_EQ(l.RemoveDuplicates(), (AttributeList{3, 1, 2}));
+  EXPECT_EQ(l.RemoveAttributes(AttributeSet{3}), (AttributeList{1, 2, 1}));
+  EXPECT_TRUE(l.Contains(2));
+  EXPECT_FALSE(l.Contains(0));
+  EXPECT_TRUE((AttributeList{1, 2, 3}).IsPermutationOf(AttributeList{3, 1, 2}));
+  EXPECT_FALSE((AttributeList{1, 1, 2}).IsPermutationOf(AttributeList{1, 2, 2}));
+}
+
+TEST(NameTableTest, InternAndFormat) {
+  NameTable names;
+  const AttributeId year = names.Intern("year");
+  const AttributeId month = names.Intern("month");
+  EXPECT_EQ(names.Intern("year"), year);  // stable
+  EXPECT_EQ(names.Lookup("month"), month);
+  EXPECT_EQ(names.Lookup("nope"), -1);
+  EXPECT_EQ(names.Format(AttributeList({year, month})), "[year, month]");
+}
+
+TEST(ValueTest, OrderingWithinAndAcrossTypes) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_LT(Value("apple"), Value("banana"));
+  // Numbers order before strings — and this models the paper's Example 1
+  // trap: as strings, quarter names sort "first", "fourth", "second",
+  // "third" rather than in calendar order.
+  EXPECT_LT(Value("first"), Value("fourth"));
+  EXPECT_LT(Value("fourth"), Value("second"));
+  EXPECT_LT(Value("second"), Value("third"));
+}
+
+TEST(DependencySetTest, BuildersAndProjection) {
+  DependencySet m;
+  m.Add(AttributeList({0}), AttributeList({1}));
+  m.AddEquivalence(AttributeList({1}), AttributeList({2}));
+  m.AddCompatibility(AttributeList({0}), AttributeList({3}));
+  m.AddConstant(4);
+  EXPECT_EQ(m.Size(), 6);
+  EXPECT_EQ(m.Attributes(), (AttributeSet{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(m.Contains(OrderDependency(AttributeList({1}),
+                                         AttributeList({2}))));
+
+  DependencySet projected = m.ProjectOut(AttributeSet{1});
+  for (const auto& d : projected.ods()) {
+    EXPECT_FALSE(d.lhs.Contains(1));
+    EXPECT_FALSE(d.rhs.Contains(1));
+  }
+}
+
+TEST(OrderDependencyTest, Shape) {
+  OrderDependency fd_shaped(AttributeList({0, 1}), AttributeList({0, 1, 2}));
+  EXPECT_TRUE(fd_shaped.IsFdShaped());
+  OrderDependency other(AttributeList({0, 1}), AttributeList({2}));
+  EXPECT_FALSE(other.IsFdShaped());
+  EXPECT_EQ(other.Converse(),
+            OrderDependency(AttributeList({2}), AttributeList({0, 1})));
+  EXPECT_TRUE(
+      OrderDependency(AttributeList({0}), AttributeList()).HasEmptyRhs());
+}
+
+}  // namespace
+}  // namespace od

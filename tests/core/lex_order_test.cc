@@ -1,0 +1,113 @@
+#include "core/lex_order.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/attribute.h"
+#include "core/relation.h"
+
+namespace od {
+namespace {
+
+// The Figure 1 relation from the paper:
+//   A B C D E F
+//   3 2 0 4 7 9
+//   3 2 1 3 8 9
+Relation PaperFigure1() {
+  return Relation::FromInts({{3, 2, 0, 4, 7, 9}, {3, 2, 1, 3, 8, 9}});
+}
+
+constexpr AttributeId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5;
+
+TEST(LexOrderTest, EmptyListComparesEqual) {
+  Relation r = PaperFigure1();
+  EXPECT_EQ(CompareOnList(r, 0, 1, AttributeList()), 0);
+  EXPECT_TRUE(LexEq(r, 0, 1, AttributeList()));
+  EXPECT_TRUE(LexLeq(r, 0, 1, AttributeList()));
+  EXPECT_FALSE(LexLess(r, 0, 1, AttributeList()));
+}
+
+TEST(LexOrderTest, SingleAttribute) {
+  Relation r = PaperFigure1();
+  EXPECT_TRUE(LexEq(r, 0, 1, AttributeList({A})));
+  EXPECT_TRUE(LexLess(r, 0, 1, AttributeList({C})));  // 0 < 1
+  EXPECT_TRUE(LexLess(r, 1, 0, AttributeList({D})));  // 3 < 4
+}
+
+TEST(LexOrderTest, FirstDifferenceDecides) {
+  Relation r = PaperFigure1();
+  // [A, B] ties, so comparison falls through to C.
+  EXPECT_TRUE(LexLess(r, 0, 1, AttributeList({A, B, C})));
+  // D reverses: row1 ≺ row0 on [A, B, D].
+  EXPECT_TRUE(LexLess(r, 1, 0, AttributeList({A, B, D})));
+  // F ties and E decides.
+  EXPECT_TRUE(LexLess(r, 0, 1, AttributeList({F, E})));
+}
+
+TEST(LexOrderTest, StrictAndEqualityAreMutuallyExclusive) {
+  Relation r = PaperFigure1();
+  const AttributeList x({C, D});
+  EXPECT_TRUE(LexLess(r, 0, 1, x));
+  EXPECT_FALSE(LexEq(r, 0, 1, x));
+  EXPECT_FALSE(LexLeq(r, 1, 0, x));
+}
+
+TEST(LexOrderTest, ReflexiveOnSameRow) {
+  Relation r = PaperFigure1();
+  for (int row = 0; row < r.num_rows(); ++row) {
+    EXPECT_TRUE(LexEq(r, row, row, AttributeList({A, B, C, D, E, F})));
+  }
+}
+
+// Property sweep: ≼ must be a total preorder on random instances, and the
+// recursive Definition 1 must agree with the head/tail expansion.
+class LexOrderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LexOrderPropertyTest, TotalPreorderAndRecursion) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> val(0, 3);
+  const int kAttrs = 4;
+  const int kRows = 8;
+  Relation r(kAttrs);
+  for (int i = 0; i < kRows; ++i) {
+    r.AddIntRow({val(rng), val(rng), val(rng), val(rng)});
+  }
+  std::vector<AttributeList> lists = {
+      AttributeList({0}), AttributeList({2, 1}), AttributeList({3, 0, 1}),
+      AttributeList({1, 1, 2})};
+  for (const auto& x : lists) {
+    for (int s = 0; s < kRows; ++s) {
+      for (int t = 0; t < kRows; ++t) {
+        // Totality: s ≼ t or t ≼ s.
+        EXPECT_TRUE(LexLeq(r, s, t, x) || LexLeq(r, t, s, x));
+        // Anti-symmetry of the induced comparison values.
+        EXPECT_EQ(CompareOnList(r, s, t, x), -CompareOnList(r, t, s, x));
+        // Definition 1 recursion: s ≼_[A|T] t iff s.A < t.A or
+        // (s.A = t.A and (T = [] or s ≼_T t)).
+        if (!x.IsEmpty()) {
+          const AttributeId head = x.Head();
+          const AttributeList tail = x.Tail();
+          const bool direct = LexLeq(r, s, t, x);
+          const int head_cmp = r.At(s, head).Compare(r.At(t, head));
+          const bool recursive =
+              head_cmp < 0 ||
+              (head_cmp == 0 && (tail.IsEmpty() || LexLeq(r, s, t, tail)));
+          EXPECT_EQ(direct, recursive);
+        }
+        // Transitivity.
+        for (int u = 0; u < kRows; ++u) {
+          if (LexLeq(r, s, t, x) && LexLeq(r, t, u, x)) {
+            EXPECT_TRUE(LexLeq(r, s, u, x));
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexOrderPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace od

@@ -1,0 +1,56 @@
+#include "core/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/witness.h"
+
+namespace od {
+namespace {
+
+TEST(RelationTest, FromIntsAndAccess) {
+  Relation r = Relation::FromInts({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(r.num_attributes(), 2);
+  EXPECT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(r.At(1, 0).AsInt(), 3);
+  EXPECT_EQ(r.Row(2).size(), 2u);
+}
+
+TEST(RelationTest, ProjectRenumbersContiguously) {
+  Relation r = Relation::FromInts({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  std::vector<AttributeId> mapping;
+  Relation p = r.Project(AttributeSet{1, 3}, &mapping);
+  EXPECT_EQ(p.num_attributes(), 2);
+  EXPECT_EQ(mapping, (std::vector<AttributeId>{1, 3}));
+  EXPECT_EQ(p.At(0, 0).AsInt(), 2);  // old attribute 1
+  EXPECT_EQ(p.At(1, 1).AsInt(), 8);  // old attribute 3
+}
+
+TEST(RelationTest, AddConstantColumn) {
+  Relation r = Relation::FromInts({{1}, {2}});
+  const AttributeId c = r.AddConstantColumn(Value(int64_t{9}));
+  EXPECT_EQ(c, 1);
+  EXPECT_EQ(r.num_attributes(), 2);
+  EXPECT_EQ(r.At(0, c).AsInt(), 9);
+  EXPECT_EQ(r.At(1, c).AsInt(), 9);
+  // A constant column satisfies [] ↦ [c].
+  EXPECT_TRUE(Satisfies(r, OrderDependency(AttributeList(),
+                                           AttributeList({c}))));
+}
+
+TEST(RelationTest, MixedTypeRows) {
+  Relation r(3);
+  r.AddRow({Value(int64_t{1}), Value(2.5), Value("x")});
+  r.AddRow({Value(int64_t{1}), Value(3.5), Value("y")});
+  EXPECT_TRUE(Satisfies(r, OrderDependency(AttributeList({1}),
+                                           AttributeList({2}))));
+  EXPECT_TRUE(Satisfies(r, OrderDependency(AttributeList({0}),
+                                           AttributeList({0}))));
+}
+
+TEST(RelationTest, ToStringRoundTrip) {
+  Relation r = Relation::FromInts({{1, 2}});
+  EXPECT_EQ(r.ToString(), "1\t2\n");
+}
+
+}  // namespace
+}  // namespace od

@@ -1,0 +1,151 @@
+#include "core/witness.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/lex_order.h"
+#include "core/parser.h"
+
+namespace od {
+namespace {
+
+constexpr AttributeId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5;
+
+Relation PaperFigure1() {
+  return Relation::FromInts({{3, 2, 0, 4, 7, 9}, {3, 2, 1, 3, 8, 9}});
+}
+
+// Example 2 of the paper: [A,B,C] ↦ [F,E,D] is consistent with Figure 1,
+// but [A,B,C] ↦ [F,D,E] is falsified.
+TEST(WitnessTest, PaperExample2) {
+  Relation r = PaperFigure1();
+  EXPECT_TRUE(Satisfies(
+      r, OrderDependency(AttributeList({A, B, C}), AttributeList({F, E, D}))));
+  auto w = FindViolation(
+      r, OrderDependency(AttributeList({A, B, C}), AttributeList({F, D, E})));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, ViolationKind::kSwap);
+}
+
+// Example 3 of the paper: [A,B] ~ [F,C] is consistent with Figure 1, but
+// [A,C] ~ [F,D] is falsified.
+TEST(WitnessTest, PaperExample3) {
+  Relation r = PaperFigure1();
+  EXPECT_TRUE(
+      SatisfiesCompatibility(r, AttributeList({A, B}), AttributeList({F, C})));
+  EXPECT_FALSE(
+      SatisfiesCompatibility(r, AttributeList({A, C}), AttributeList({F, D})));
+}
+
+TEST(WitnessTest, SplitDetected) {
+  // Two rows equal on A but differing on B: A ↦ B is split-falsified.
+  Relation r = Relation::FromInts({{1, 1}, {1, 2}});
+  auto w = FindViolation(r, OrderDependency(AttributeList({0}),
+                                            AttributeList({1})));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, ViolationKind::kSplit);
+  EXPECT_TRUE(FindSplit(r, AttributeList({0}), AttributeList({1})).has_value());
+  EXPECT_FALSE(FindSwap(r, AttributeList({0}), AttributeList({1})).has_value());
+}
+
+TEST(WitnessTest, SwapDetected) {
+  // A ascends while B descends: A ↦ B is swap-falsified.
+  Relation r = Relation::FromInts({{1, 2}, {2, 1}});
+  auto w = FindViolation(r, OrderDependency(AttributeList({0}),
+                                            AttributeList({1})));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, ViolationKind::kSwap);
+  EXPECT_TRUE(FindSwap(r, AttributeList({0}), AttributeList({1})).has_value());
+  EXPECT_FALSE(
+      FindSplit(r, AttributeList({0}), AttributeList({1})).has_value());
+}
+
+TEST(WitnessTest, TrivialOds) {
+  Relation r = PaperFigure1();
+  // X ↦ [] is satisfied by every instance.
+  EXPECT_TRUE(Satisfies(
+      r, OrderDependency(AttributeList({A}), AttributeList())));
+  // XY ↦ X (Reflexivity instances) hold in every instance.
+  EXPECT_TRUE(Satisfies(
+      r, OrderDependency(AttributeList({C, D, E}), AttributeList({C, D}))));
+}
+
+TEST(WitnessTest, DependencySetSatisfaction) {
+  Relation r = PaperFigure1();
+  DependencySet good;
+  good.Add(AttributeList({A, B, C}), AttributeList({F, E, D}));
+  good.Add(AttributeList({C}), AttributeList({E}));
+  EXPECT_TRUE(Satisfies(r, good));
+  DependencySet bad = good;
+  bad.Add(AttributeList({C}), AttributeList({D}));  // C ascends, D descends
+  EXPECT_FALSE(Satisfies(r, bad));
+}
+
+// Theorem 15 (dichotomy), checked empirically: X ↦ Y holds on an instance
+// iff X ↦ XY holds (no split) and X ~ Y holds (no swap).
+class Theorem15PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem15PropertyTest, SplitSwapDichotomy) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> val(0, 2);
+  Relation r(4);
+  for (int i = 0; i < 7; ++i) {
+    r.AddIntRow({val(rng), val(rng), val(rng), val(rng)});
+  }
+  const std::vector<AttributeList> lists = {
+      AttributeList({0}), AttributeList({1, 2}), AttributeList({3, 0}),
+      AttributeList({2}), AttributeList({0, 1, 2})};
+  for (const auto& x : lists) {
+    for (const auto& y : lists) {
+      const OrderDependency dep(x, y);
+      const bool holds = Satisfies(r, dep);
+      const bool fd_side =
+          Satisfies(r, OrderDependency(x, x.Concat(y)));
+      const bool compat_side = SatisfiesCompatibility(r, x, y);
+      EXPECT_EQ(holds, fd_side && compat_side)
+          << dep.ToString() << " on\n"
+          << r.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem15PropertyTest,
+                         ::testing::Range(1, 13));
+
+TEST(ParserTest, RoundTrip) {
+  NameTable names;
+  Parser parser(&names);
+  auto list = parser.ParseList("[year, month, day]");
+  ASSERT_TRUE(list.has_value()) << parser.error();
+  EXPECT_EQ(list->Size(), 3);
+  EXPECT_EQ(names.Format(*list), "[year, month, day]");
+
+  auto od1 = parser.ParseStatement("[month] -> [quarter]");
+  ASSERT_TRUE(od1.has_value()) << parser.error();
+  EXPECT_EQ(od1->size(), 1u);
+
+  auto equiv = parser.ParseStatement("[a, b] <-> [b, a]");
+  ASSERT_TRUE(equiv.has_value()) << parser.error();
+  EXPECT_EQ(equiv->size(), 2u);
+
+  auto compat = parser.ParseStatement("[a] ~ [b]");
+  ASSERT_TRUE(compat.has_value()) << parser.error();
+  EXPECT_EQ(compat->size(), 2u);
+  // X ~ Y is XY ↔ YX.
+  EXPECT_EQ((*compat)[0].lhs.Size(), 2);
+
+  auto set = parser.ParseSet("[a] -> [b]; [b] -> [c]\n[c] ~ [d]");
+  ASSERT_TRUE(set.has_value()) << parser.error();
+  EXPECT_EQ(set->Size(), 4);
+}
+
+TEST(ParserTest, Errors) {
+  NameTable names;
+  Parser parser(&names);
+  EXPECT_FALSE(parser.ParseStatement("[a] [b]").has_value());
+  EXPECT_FALSE(parser.ParseList("[a,, b]").has_value());
+}
+
+}  // namespace
+}  // namespace od

@@ -1,0 +1,132 @@
+#include "engine/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/ops.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/tax_schedule.h"
+
+namespace od {
+namespace engine {
+namespace {
+
+Table MonotoneTable() {
+  Schema s;
+  s.Add("x", DataType::kInt64);
+  s.Add("y", DataType::kInt64);
+  Table t(s);
+  t.AppendRow({Value(1), Value(10)});
+  t.AppendRow({Value(2), Value(20)});
+  t.AppendRow({Value(3), Value(20)});
+  t.AppendRow({Value(4), Value(30)});
+  return t;
+}
+
+TEST(ConstraintsTest, ValidTableHasNoViolations) {
+  ConstraintSet constraints;
+  constraints.Declare(OrderDependency(AttributeList({0}),
+                                      AttributeList({1})));
+  EXPECT_TRUE(constraints.Validate(MonotoneTable()).empty());
+}
+
+TEST(ConstraintsTest, SwapViolationReported) {
+  Table t = MonotoneTable();
+  t.AppendRow({Value(5), Value(5)});  // y drops while x rises: swap
+  ConstraintSet constraints;
+  constraints.Declare(OrderDependency(AttributeList({0}),
+                                      AttributeList({1})));
+  auto violations = constraints.Validate(t);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(violations.front().is_swap);
+  const std::string text = violations.front().ToString(t.schema());
+  EXPECT_NE(text.find("swap"), std::string::npos);
+  EXPECT_NE(text.find("[x] -> [y]"), std::string::npos);
+}
+
+TEST(ConstraintsTest, SplitViolationReported) {
+  Table t = MonotoneTable();
+  t.AppendRow({Value(4), Value(99)});  // same x as row 3, different y: split
+  ConstraintSet constraints;
+  constraints.Declare(OrderDependency(AttributeList({0}),
+                                      AttributeList({1})));
+  auto violations = constraints.Validate(t);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_FALSE(violations.front().is_swap);
+}
+
+TEST(ConstraintsTest, SortedFastPathAgreesWithFull) {
+  // Random-ish monotone-violating table, validated both ways.
+  Schema s;
+  s.Add("x", DataType::kInt64);
+  s.Add("y", DataType::kInt64);
+  Table t(s);
+  const int64_t xs[] = {1, 2, 2, 3, 4, 5, 6, 7};
+  const int64_t ys[] = {1, 2, 2, 5, 4, 6, 7, 7};  // one dip at x=4
+  for (int i = 0; i < 8; ++i) t.AppendRow({Value(xs[i]), Value(ys[i])});
+  ConstraintSet constraints;
+  constraints.Declare(OrderDependency(AttributeList({0}),
+                                      AttributeList({1})));
+  auto full = constraints.Validate(t);
+  auto fast = constraints.ValidateSorted(t, {0});
+  EXPECT_FALSE(full.empty());
+  EXPECT_FALSE(fast.empty());
+  // The fast path flags the adjacent pair of the same violation.
+  EXPECT_EQ(fast.front().dep, full.front().dep);
+}
+
+TEST(ConstraintsTest, SortedFastPathCatchesEqualKeySplits) {
+  Schema s;
+  s.Add("x", DataType::kInt64);
+  s.Add("y", DataType::kInt64);
+  Table t(s);
+  t.AppendRow({Value(1), Value(1)});
+  t.AppendRow({Value(1), Value(2)});  // split on x ↦ y
+  ConstraintSet constraints;
+  constraints.Declare(OrderDependency(AttributeList({0}),
+                                      AttributeList({1})));
+  auto fast = constraints.ValidateSorted(t, {0});
+  ASSERT_FALSE(fast.empty());
+  EXPECT_FALSE(fast.front().is_swap);
+}
+
+TEST(ConstraintsTest, WarehouseConstraintsValidate) {
+  // The DB2-prototype scenario: declare the date-dimension ODs as check
+  // constraints and validate a generated dimension (sorted fast path via
+  // the surrogate key ordering).
+  Table dim = warehouse::GenerateDateDim(2002, 2);
+  ConstraintSet constraints(warehouse::DateDimOds());
+  EXPECT_TRUE(constraints.ValidateSorted(dim, dim.ordering()).empty());
+
+  Table taxes = warehouse::GenerateTaxTable(500, 300000, 3);
+  ConstraintSet tax_constraints(warehouse::TaxOds());
+  EXPECT_TRUE(tax_constraints.Validate(taxes).empty());
+}
+
+TEST(ConstraintsTest, CorruptedWarehouseDetected) {
+  Table dim = warehouse::GenerateDateDim(2002, 1);
+  const warehouse::DateDimColumns c;
+  // Corrupt one quarter value: June moved to quarter 4.
+  for (int64_t i = 0; i < dim.num_rows(); ++i) {
+    if (dim.col(c.d_moy).Int(i) == 6 && dim.col(c.d_dom).Int(i) == 15) {
+      // Column storage is append-only in this engine; rebuild with the
+      // corruption instead.
+      Table bad(dim.schema());
+      for (int64_t r = 0; r < dim.num_rows(); ++r) {
+        std::vector<Value> row;
+        for (int col = 0; col < dim.num_columns(); ++col) {
+          row.push_back(dim.col(col).Get(r));
+        }
+        if (r == i) row[c.d_quarter] = Value(int64_t{4});
+        bad.AppendRow(row);
+      }
+      ConstraintSet constraints(warehouse::DateDimOds());
+      EXPECT_FALSE(constraints.Validate(bad).empty());
+      return;
+    }
+  }
+  FAIL() << "no June 15 row found";
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace od

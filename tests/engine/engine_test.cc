@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+
+namespace od {
+namespace engine {
+namespace {
+
+Table MakeSales() {
+  Schema schema;
+  schema.Add("day", DataType::kInt64);
+  schema.Add("store", DataType::kInt64);
+  schema.Add("amount", DataType::kDouble);
+  Table t(schema);
+  // day, store, amount
+  t.AppendRow({Value(3), Value(1), Value(30.0)});
+  t.AppendRow({Value(1), Value(2), Value(10.0)});
+  t.AppendRow({Value(2), Value(1), Value(20.0)});
+  t.AppendRow({Value(1), Value(1), Value(15.0)});
+  t.AppendRow({Value(3), Value(2), Value(5.0)});
+  return t;
+}
+
+TEST(TableTest, SchemaAndAccess) {
+  Table t = MakeSales();
+  EXPECT_EQ(t.num_rows(), 5);
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.Find("store"), 1);
+  EXPECT_EQ(t.Find("missing"), -1);
+  EXPECT_EQ(t.col(0).Int(0), 3);
+  EXPECT_DOUBLE_EQ(t.col(2).Double(1), 10.0);
+}
+
+TEST(TableTest, GatherAndCompare) {
+  Table t = MakeSales();
+  Table g = t.Gather({1, 3});
+  EXPECT_EQ(g.num_rows(), 2);
+  EXPECT_EQ(g.col(0).Int(0), 1);
+  EXPECT_EQ(g.col(1).Int(1), 1);
+  EXPECT_LT(t.CompareRows(1, 0, {0}), 0);  // day 1 < day 3
+  EXPECT_EQ(t.CompareRows(1, 3, {0}), 0);  // equal days
+  EXPECT_GT(t.CompareRows(1, 3, {0, 1}), 0);  // tie broken by store 2 > 1
+}
+
+TEST(SortTest, SortAndOrderingProperty) {
+  Table t = MakeSales();
+  EXPECT_FALSE(IsSortedBy(t, {0}));
+  Table sorted = SortBy(t, {0, 1});
+  EXPECT_TRUE(IsSortedBy(sorted, {0, 1}));
+  EXPECT_TRUE(IsSortedBy(sorted, {0}));  // prefix is sorted too
+  EXPECT_EQ(sorted.ordering(), (SortSpec{0, 1}));
+  EXPECT_EQ(sorted.col(0).Int(0), 1);
+  EXPECT_EQ(sorted.col(0).Int(4), 3);
+}
+
+TEST(SortTest, StableSortPreservesTies) {
+  Table t = MakeSales();
+  Table sorted = SortBy(t, {0});
+  // Rows with day=1 keep their original relative order (store 2 then 1).
+  EXPECT_EQ(sorted.col(1).Int(0), 2);
+  EXPECT_EQ(sorted.col(1).Int(1), 1);
+}
+
+TEST(FilterTest, PredicatesAndConjunction) {
+  Table t = MakeSales();
+  Table eq = Filter(t, {Predicate{1, Predicate::Op::kEq, Value(1)}});
+  EXPECT_EQ(eq.num_rows(), 3);
+  Table range = Filter(t, {Predicate{0, Predicate::Op::kBetween, Value(1),
+                                     Value(2)}});
+  EXPECT_EQ(range.num_rows(), 3);
+  Table both = Filter(t, {Predicate{1, Predicate::Op::kEq, Value(1)},
+                          Predicate{0, Predicate::Op::kGe, Value(2)}});
+  EXPECT_EQ(both.num_rows(), 2);
+  Table lt = Filter(t, {Predicate{2, Predicate::Op::kLt, Value(15.0)}});
+  EXPECT_EQ(lt.num_rows(), 2);
+}
+
+TEST(GroupByTest, HashAndStreamAgree) {
+  Table t = MakeSales();
+  const std::vector<ColumnId> groups{1};
+  const std::vector<AggSpec> aggs{
+      {AggSpec::Kind::kSum, 2, "sum_amount"},
+      {AggSpec::Kind::kCount, 0, "cnt"},
+      {AggSpec::Kind::kMin, 2, "min_amount"},
+      {AggSpec::Kind::kMax, 2, "max_amount"},
+      {AggSpec::Kind::kAvg, 2, "avg_amount"},
+  };
+  Table hashed = HashGroupBy(t, groups, aggs);
+  Table streamed = StreamGroupBy(SortBy(t, {1}), groups, aggs);
+  EXPECT_TRUE(SameRowMultiset(hashed, streamed));
+  ASSERT_EQ(hashed.num_rows(), 2);
+  // Store 1: amounts 30, 20, 15.
+  Table s1 = Filter(hashed, {Predicate{0, Predicate::Op::kEq, Value(1)}});
+  ASSERT_EQ(s1.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(s1.col(1).Double(0), 65.0);
+  EXPECT_EQ(s1.col(2).Int(0), 3);
+  EXPECT_DOUBLE_EQ(s1.col(3).Double(0), 15.0);
+  EXPECT_DOUBLE_EQ(s1.col(4).Double(0), 30.0);
+  EXPECT_NEAR(s1.col(5).Double(0), 65.0 / 3, 1e-9);
+}
+
+TEST(GroupByTest, StreamRequiresContiguity) {
+  Table t = MakeSales();
+  // Unsorted input: stream aggregation produces MORE groups than hash
+  // (store 1 appears in several runs) — the failure mode OD reasoning
+  // must prevent.
+  Table streamed = StreamGroupBy(t, {1}, {{AggSpec::Kind::kCount, 0, "c"}});
+  Table hashed = HashGroupBy(t, {1}, {{AggSpec::Kind::kCount, 0, "c"}});
+  EXPECT_GT(streamed.num_rows(), hashed.num_rows());
+}
+
+TEST(DistinctTest, HashAndStream) {
+  Table t = MakeSales();
+  Table h = HashDistinct(t, {1});
+  EXPECT_EQ(h.num_rows(), 2);
+  Table s = StreamDistinct(SortBy(t, {1}), {1});
+  EXPECT_TRUE(SameRowMultiset(h, s));
+}
+
+Table MakeDim() {
+  Schema schema;
+  schema.Add("day", DataType::kInt64);
+  schema.Add("label", DataType::kString);
+  Table t(schema);
+  t.AppendRow({Value(1), Value("one")});
+  t.AppendRow({Value(2), Value("two")});
+  t.AppendRow({Value(3), Value("three")});
+  return t;
+}
+
+TEST(JoinTest, HashJoinBasic) {
+  Table sales = MakeSales();
+  Table dim = MakeDim();
+  Table joined = HashJoin(sales, 0, dim, 0);
+  EXPECT_EQ(joined.num_rows(), 5);
+  EXPECT_EQ(joined.num_columns(), 5);
+  // Collision on "day" gets prefixed.
+  EXPECT_GE(joined.Find("r_day"), 0);
+}
+
+TEST(JoinTest, SortMergeMatchesHash) {
+  Table sales = MakeSales();
+  Table dim = MakeDim();
+  Table hj = HashJoin(sales, 0, dim, 0);
+  Table smj = SortMergeJoin(sales, 0, dim, 0, /*assume_sorted=*/false);
+  EXPECT_TRUE(SameRowMultiset(hj, smj));
+  // Pre-sorted inputs with assume_sorted=true give the same result.
+  Table smj2 = SortMergeJoin(SortBy(sales, {0}), 0, SortBy(dim, {0}), 0,
+                             /*assume_sorted=*/true);
+  EXPECT_TRUE(SameRowMultiset(hj, smj2));
+}
+
+TEST(JoinTest, DuplicateKeysCrossProduct) {
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  Table l(s), r(s);
+  l.AppendRow({Value(7)});
+  l.AppendRow({Value(7)});
+  r.AppendRow({Value(7)});
+  r.AppendRow({Value(7)});
+  r.AppendRow({Value(7)});
+  EXPECT_EQ(HashJoin(l, 0, r, 0).num_rows(), 6);
+  EXPECT_EQ(SortMergeJoin(l, 0, r, 0, false).num_rows(), 6);
+}
+
+TEST(ProjectConcatTest, Basics) {
+  Table t = MakeSales();
+  Table p = Project(t, {2, 0});
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.schema().col(0).name, "amount");
+  Table c = Concat({&t, &t});
+  EXPECT_EQ(c.num_rows(), 10);
+}
+
+TEST(IndexTest, OrderedScanAndRange) {
+  Table t = MakeSales();
+  OrderedIndex idx(&t, {0});
+  Table all = idx.ScanAll();
+  EXPECT_TRUE(IsSortedBy(all, {0}));
+  EXPECT_EQ(all.ordering(), (SortSpec{0}));
+  Table range = idx.ScanRange(1, 2);
+  EXPECT_EQ(range.num_rows(), 3);
+  EXPECT_EQ(idx.CountRange(1, 2), 3);
+  EXPECT_EQ(idx.CountRange(4, 9), 0);
+  EXPECT_EQ(idx.MinKeyAtLeast(2).value(), 2);
+  EXPECT_EQ(idx.MaxKeyAtMost(2).value(), 2);
+  EXPECT_FALSE(idx.MinKeyAtLeast(4).has_value());
+  EXPECT_FALSE(idx.MaxKeyAtMost(0).has_value());
+}
+
+TEST(PartitionTest, RoutingAndPruning) {
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  Table t(s);
+  for (int64_t i = 0; i < 100; ++i) t.AppendRow({Value(i)});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 10);
+  EXPECT_EQ(pt.num_partitions(), 10);
+  EXPECT_EQ(pt.total_rows(), 100);
+  EXPECT_EQ(pt.ScanAll().num_rows(), 100);
+  int touched = 0;
+  Table ranged = pt.ScanRange(25, 34, &touched);
+  EXPECT_EQ(ranged.num_rows(), 10);
+  EXPECT_EQ(touched, 2);  // partitions [20,29] and [30,39]
+  EXPECT_EQ(pt.CountOverlapping(0, 99), 10);
+  EXPECT_EQ(pt.CountOverlapping(5, 5), 1);
+}
+
+TEST(SameRowMultisetTest, DetectsDifferences) {
+  Table a = MakeSales();
+  Table b = SortBy(a, {0, 1});  // same rows, different order
+  EXPECT_TRUE(SameRowMultiset(a, b));
+  Table c = a.Gather({0, 1, 2, 3});
+  EXPECT_FALSE(SameRowMultiset(a, c));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace od

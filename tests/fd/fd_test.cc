@@ -1,0 +1,108 @@
+#include "fd/fd_set.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/armstrong_fd.h"
+
+namespace od {
+namespace fd {
+namespace {
+
+TEST(FdSetTest, ClosureBasics) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});       // A → B
+  f.Add(AttributeSet{1}, AttributeSet{2});       // B → C
+  f.Add(AttributeSet{2, 3}, AttributeSet{4});    // CD → E
+  EXPECT_EQ(f.Closure(AttributeSet{0}), (AttributeSet{0, 1, 2}));
+  EXPECT_EQ(f.Closure(AttributeSet{0, 3}), (AttributeSet{0, 1, 2, 3, 4}));
+  EXPECT_EQ(f.Closure(AttributeSet{3}), (AttributeSet{3}));
+}
+
+TEST(FdSetTest, Implication) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});
+  f.Add(AttributeSet{1}, AttributeSet{2});
+  EXPECT_TRUE(f.Implies(AttributeSet{0}, AttributeSet{2}));    // transitivity
+  EXPECT_TRUE(f.Implies(AttributeSet{0, 2}, AttributeSet{1})); // augmentation
+  EXPECT_TRUE(f.Implies(AttributeSet{1}, AttributeSet{1}));    // reflexivity
+  EXPECT_FALSE(f.Implies(AttributeSet{1}, AttributeSet{0}));
+  EXPECT_FALSE(f.Implies(AttributeSet{2}, AttributeSet{1}));
+}
+
+TEST(FdSetTest, CandidateKeys) {
+  // Classic: R(A,B,C) with A → B, B → C: key is {A}.
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});
+  f.Add(AttributeSet{1}, AttributeSet{2});
+  auto keys = f.CandidateKeys(AttributeSet{0, 1, 2});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (AttributeSet{0}));
+
+  // R(A,B) with A → B and B → A: keys {A} and {B}.
+  FdSet g;
+  g.Add(AttributeSet{0}, AttributeSet{1});
+  g.Add(AttributeSet{1}, AttributeSet{0});
+  auto keys2 = g.CandidateKeys(AttributeSet{0, 1});
+  EXPECT_EQ(keys2.size(), 2u);
+}
+
+TEST(FdSetTest, MinimalCover) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1, 2});     // A → BC
+  f.Add(AttributeSet{1}, AttributeSet{2});        // B → C
+  f.Add(AttributeSet{0, 1}, AttributeSet{2});     // AB → C (redundant)
+  FdSet cover = f.MinimalCover();
+  // The cover must be equivalent to the original.
+  for (const auto& dep : f.fds()) {
+    EXPECT_TRUE(cover.Implies(dep));
+  }
+  for (const auto& dep : cover.fds()) {
+    EXPECT_TRUE(f.Implies(dep));
+    EXPECT_EQ(dep.rhs.Size(), 1);  // singleton RHS
+  }
+  // A → C and AB → C must have been eliminated/absorbed.
+  EXPECT_LE(cover.Size(), 3);
+}
+
+TEST(FdSetTest, SatisfactionOnInstances) {
+  Relation r = Relation::FromInts({{1, 10, 5}, {1, 10, 5}, {2, 20, 5}});
+  EXPECT_TRUE(Satisfies(r, FunctionalDependency(AttributeSet{0},
+                                                AttributeSet{1})));
+  EXPECT_TRUE(Satisfies(r, FunctionalDependency(AttributeSet{},
+                                                AttributeSet{2})));
+  Relation bad = Relation::FromInts({{1, 10}, {1, 11}});
+  EXPECT_FALSE(Satisfies(bad, FunctionalDependency(AttributeSet{0},
+                                                   AttributeSet{1})));
+}
+
+TEST(FdProjectionTest, OdToFd) {
+  DependencySet m;
+  m.Add(AttributeList({0, 1}), AttributeList({2}));
+  FdSet f = FdProjection(m);
+  EXPECT_TRUE(f.Implies(AttributeSet{0, 1}, AttributeSet{2}));
+  EXPECT_FALSE(f.Implies(AttributeSet{0}, AttributeSet{2}));
+}
+
+TEST(FdAsOdTest, FdShape) {
+  OrderDependency dep =
+      FdAsOd(FunctionalDependency(AttributeSet{0, 2}, AttributeSet{1}));
+  EXPECT_TRUE(dep.IsFdShaped());
+  EXPECT_EQ(dep.lhs, (AttributeList{0, 2}));
+  EXPECT_EQ(dep.rhs, (AttributeList{0, 2, 1}));
+}
+
+TEST(ArmstrongFdTest, TwoRowCounterexample) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});  // A → B
+  const AttributeSet universe{0, 1, 2};
+  // Closure of {A} is {A, B}: the two-row table splits A → C but not A → B.
+  Relation r = TwoRowFdCounterexample(f, AttributeSet{0}, universe);
+  EXPECT_TRUE(Satisfies(r, FunctionalDependency(AttributeSet{0},
+                                                AttributeSet{1})));
+  EXPECT_FALSE(Satisfies(r, FunctionalDependency(AttributeSet{0},
+                                                 AttributeSet{2})));
+}
+
+}  // namespace
+}  // namespace fd
+}  // namespace od

@@ -1,0 +1,151 @@
+#include "optimizer/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/date_rewrite.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/queries.h"
+#include "warehouse/star_schema.h"
+
+namespace od {
+namespace opt {
+namespace {
+
+using engine::DataType;
+using engine::Schema;
+using engine::Table;
+
+Table SmallTable() {
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  s.Add("v", DataType::kDouble);
+  Table t(s);
+  for (int64_t i = 0; i < 10; ++i) {
+    t.AppendRow({Value(i % 3), Value(static_cast<double>(i))});
+  }
+  return t;
+}
+
+TEST(PlanTest, ScanFilterSortAgg) {
+  Table t = SmallTable();
+  ExecStats stats;
+  PlanPtr plan = HashAggNode(
+      FilterNode(TableScan(&t),
+                 {engine::Predicate{0, engine::Predicate::Op::kGe, Value(1)}}),
+      {0}, {{engine::AggSpec::Kind::kSum, 1, "sum_v"}});
+  Table result = plan->Execute(&stats);
+  EXPECT_EQ(result.num_rows(), 2);  // k ∈ {1, 2}
+  EXPECT_EQ(stats.rows_scanned, 10);
+  EXPECT_EQ(stats.sorts, 0);
+
+  ExecStats stats2;
+  PlanPtr sorted = SortNode(TableScan(&t), {0, 1});
+  Table sorted_result = sorted->Execute(&stats2);
+  EXPECT_EQ(stats2.sorts, 1);
+  EXPECT_TRUE(engine::IsSortedBy(sorted_result, {0, 1}));
+}
+
+TEST(PlanTest, StreamVsHashAggEquivalentOnSortedInput) {
+  Table t = SmallTable();
+  ExecStats s1, s2;
+  Table a = HashAggNode(TableScan(&t), {0},
+                        {{engine::AggSpec::Kind::kSum, 1, "s"}})
+                ->Execute(&s1);
+  Table b = StreamAggNode(SortNode(TableScan(&t), {0}), {0},
+                          {{engine::AggSpec::Kind::kSum, 1, "s"}})
+                ->Execute(&s2);
+  EXPECT_TRUE(engine::SameRowMultiset(a, b));
+  EXPECT_EQ(s2.sorts, 1);
+}
+
+TEST(PlanTest, DescribeMentionsShape) {
+  Table t = SmallTable();
+  PlanPtr plan = HashAggNode(SortNode(TableScan(&t), {0}), {0}, {});
+  const std::string desc = plan->Describe();
+  EXPECT_NE(desc.find("HashAgg"), std::string::npos);
+  EXPECT_NE(desc.find("Sort"), std::string::npos);
+  EXPECT_NE(desc.find("TableScan"), std::string::npos);
+}
+
+class DateRewriteTest : public ::testing::Test {
+ protected:
+  static constexpr int kStartYear = 1998;
+  static constexpr int kYears = 4;
+  void SetUp() override {
+    dim_ = warehouse::GenerateDateDim(kStartYear, kYears);
+    const int64_t first_sk = dim_.col(0).Int(0);
+    fact_ = warehouse::GenerateStoreSales(/*num_rows=*/20000, first_sk,
+                                          dim_.num_rows(), /*num_items=*/50,
+                                          /*num_stores=*/10, /*seed=*/42);
+  }
+  engine::Table dim_;
+  engine::Table fact_;
+};
+
+TEST_F(DateRewriteTest, ApplicabilityRequiresSurrogateOd) {
+  OrderReasoner with_od(warehouse::DateDimOds());
+  const warehouse::DateDimColumns d;
+  EXPECT_TRUE(RewriteApplicable(with_od, d.d_date_sk, d.d_date));
+  OrderReasoner without((DependencySet()));
+  EXPECT_FALSE(RewriteApplicable(without, d.d_date_sk, d.d_date));
+}
+
+TEST_F(DateRewriteTest, SurrogateRangeMatchesPredicate) {
+  const warehouse::DateDimColumns d;
+  const std::vector<engine::Predicate> preds{
+      {d.d_year, engine::Predicate::Op::kEq, Value(int64_t{kStartYear + 1})}};
+  auto range = SurrogateKeyRange(dim_, d.d_date_sk, preds);
+  ASSERT_TRUE(range.has_value());
+  // A non-leap/leap year has 365/366 days; 1999 has 365.
+  EXPECT_EQ(range->second - range->first + 1, 365);
+  EXPECT_TRUE(QualifyingRowsContiguous(dim_, d.d_date_sk, preds));
+}
+
+TEST_F(DateRewriteTest, AllThirteenQueriesRewriteCorrectly) {
+  const warehouse::DateDimColumns d;
+  engine::OrderedIndex fact_index(&fact_, {0});
+  const auto queries = warehouse::TpcdsDateQueries(kStartYear, kYears);
+  ASSERT_EQ(queries.size(), 13u);
+  for (const auto& q : queries) {
+    // Precondition: contiguity of the qualifying dimension rows.
+    EXPECT_TRUE(QualifyingRowsContiguous(dim_, d.d_date_sk,
+                                         q.dim_predicates))
+        << q.name;
+    auto range = SurrogateKeyRange(dim_, d.d_date_sk, q.dim_predicates);
+    ASSERT_TRUE(range.has_value()) << q.name;
+
+    ExecStats base_stats, rewrite_stats;
+    Table baseline =
+        BuildBaselinePlan(&fact_, &dim_, q)->Execute(&base_stats);
+    Table rewritten = BuildRewrittenPlan(&fact_index, q, *range)
+                          ->Execute(&rewrite_stats);
+    EXPECT_TRUE(engine::SameRowMultiset(baseline, rewritten)) << q.name;
+    // The rewritten plan performs no join and scans fewer rows.
+    EXPECT_EQ(rewrite_stats.joins, 0) << q.name;
+    EXPECT_EQ(base_stats.joins, 1) << q.name;
+    EXPECT_LT(rewrite_stats.rows_scanned, base_stats.rows_scanned) << q.name;
+  }
+}
+
+TEST_F(DateRewriteTest, PartitionPruning) {
+  const warehouse::DateDimColumns d;
+  engine::PartitionedTable parts =
+      engine::PartitionedTable::PartitionByRange(fact_, 0, 16);
+  const auto queries = warehouse::TpcdsDateQueries(kStartYear, kYears);
+  const auto& q = queries[0];  // a one-year predicate over four years
+  auto range = SurrogateKeyRange(dim_, d.d_date_sk, q.dim_predicates);
+  ASSERT_TRUE(range.has_value());
+
+  ExecStats base_stats, rewrite_stats;
+  Table baseline = BuildBaselinePartitionedPlan(&parts, &dim_, q)
+                       ->Execute(&base_stats);
+  Table rewritten = BuildRewrittenPartitionedPlan(&parts, q, *range)
+                        ->Execute(&rewrite_stats);
+  EXPECT_TRUE(engine::SameRowMultiset(baseline, rewritten));
+  EXPECT_EQ(base_stats.partitions_scanned, 16);
+  EXPECT_LT(rewrite_stats.partitions_scanned, 16 / 2);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace od

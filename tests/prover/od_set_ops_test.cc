@@ -1,0 +1,80 @@
+#include "prover/od_set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace od {
+namespace prover {
+namespace {
+
+DependencySet Parse(NameTable* names, const std::string& text) {
+  Parser parser(names);
+  auto set = parser.ParseSet(text);
+  EXPECT_TRUE(set.has_value()) << parser.error();
+  return *set;
+}
+
+TEST(OdSetOpsTest, EquivalentSetsDefinition9) {
+  NameTable names;
+  // Theorem 15: {X ↦ Y} is equivalent to {X ↦ XY} ∪ {X ~ Y}.
+  DependencySet m1 = Parse(&names, "[a] -> [b]");
+  DependencySet m2 = Parse(&names, "[a] -> [a, b]; [a] ~ [b]");
+  EXPECT_TRUE(EquivalentSets(m1, m2));
+  // Dropping the compatibility half breaks equivalence.
+  DependencySet m3 = Parse(&names, "[a] -> [a, b]");
+  EXPECT_FALSE(EquivalentSets(m1, m3));
+  EXPECT_TRUE(ImpliesAll(m1, m3));
+  EXPECT_FALSE(ImpliesAll(m3, m1));
+}
+
+TEST(OdSetOpsTest, RemoveRedundantKeepsEquivalence) {
+  NameTable names;
+  DependencySet m = Parse(
+      &names, "[a] -> [b]; [b] -> [c]; [a] -> [c]; [a] -> [b]");
+  DependencySet reduced = RemoveRedundant(m);
+  EXPECT_LT(reduced.Size(), m.Size());
+  EXPECT_TRUE(EquivalentSets(m, reduced));
+  // a ↦ c (transitivity) and the duplicate must be gone.
+  EXPECT_EQ(reduced.Size(), 2);
+}
+
+TEST(OdSetOpsTest, RemoveRedundantDropsTrivia) {
+  NameTable names;
+  DependencySet m = Parse(&names, "[a, b] -> [a]; [a] -> [c]");
+  DependencySet reduced = RemoveRedundant(m);
+  EXPECT_EQ(reduced.Size(), 1);
+  EXPECT_TRUE(reduced.Contains(OrderDependency(
+      AttributeList({names.Lookup("a")}),
+      AttributeList({names.Lookup("c")}))));
+}
+
+TEST(OdSetOpsTest, NormalizeRemovesDuplicates) {
+  DependencySet m;
+  m.Add(AttributeList({0, 1, 0}), AttributeList({2, 2}));
+  m.Add(AttributeList({0, 1}), AttributeList({2}));
+  DependencySet normalized = Normalize(m);
+  EXPECT_EQ(normalized.Size(), 1);
+  EXPECT_EQ(normalized[0],
+            OrderDependency(AttributeList({0, 1}), AttributeList({2})));
+  EXPECT_TRUE(EquivalentSets(m, normalized));
+}
+
+TEST(OdSetOpsTest, TrivialityDetection) {
+  // The paper's trivial OD examples: XY ↦ X (reflexivity shapes) and
+  // X ↦ [] hold in every instance.
+  EXPECT_TRUE(IsTrivial(OrderDependency(AttributeList({0, 1}),
+                                        AttributeList({0}))));
+  EXPECT_TRUE(IsTrivial(OrderDependency(AttributeList({0}),
+                                        AttributeList())));
+  EXPECT_TRUE(IsTrivial(OrderDependency(AttributeList({0, 1, 2}),
+                                        AttributeList({0, 1}))));
+  EXPECT_FALSE(IsTrivial(OrderDependency(AttributeList({0}),
+                                         AttributeList({1}))));
+  EXPECT_FALSE(IsTrivial(OrderDependency(AttributeList({0, 1}),
+                                         AttributeList({1}))));
+}
+
+}  // namespace
+}  // namespace prover
+}  // namespace od

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/relation.h"
+#include "core/witness.h"
+#include "engine/ops.h"
+#include "prover/prover.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/star_schema.h"
+#include "warehouse/tax_schedule.h"
+
+namespace od {
+namespace warehouse {
+namespace {
+
+TEST(CivilDateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  int y, m, d;
+  CivilFromDays(11017, &y, &m, &d);
+  EXPECT_EQ(y, 2000);
+  EXPECT_EQ(m, 3);
+  EXPECT_EQ(d, 1);
+  // 1970-01-01 was a Thursday (Monday = 0 ⟹ 3).
+  EXPECT_EQ(WeekdayFromDays(0), 3);
+  // 2000-01-01 was a Saturday.
+  EXPECT_EQ(WeekdayFromDays(DaysFromCivil(2000, 1, 1)), 5);
+}
+
+TEST(CivilDateTest, RoundTripSweep) {
+  for (int64_t day = DaysFromCivil(1995, 1, 1);
+       day <= DaysFromCivil(2005, 12, 31); day += 17) {
+    int y, m, d;
+    CivilFromDays(day, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), day);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, LastDayOfMonth(y, m));
+  }
+}
+
+TEST(CivilDateTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1999));
+  EXPECT_EQ(LastDayOfMonth(2000, 2), 29);
+  EXPECT_EQ(LastDayOfMonth(1999, 2), 28);
+}
+
+// Converts an engine table to a theory Relation for OD checking.
+Relation ToRelation(const engine::Table& t) {
+  Relation r(t.num_columns());
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    std::vector<Value> row;
+    row.reserve(t.num_columns());
+    for (int c = 0; c < t.num_columns(); ++c) row.push_back(t.col(c).Get(i));
+    r.AddRow(std::move(row));
+  }
+  return r;
+}
+
+TEST(DateDimTest, GenerationBasics) {
+  engine::Table dim = GenerateDateDim(2000, 2);
+  EXPECT_EQ(dim.num_rows(), 366 + 365);  // 2000 is leap
+  const DateDimColumns c;
+  EXPECT_EQ(dim.col(c.d_year).Int(0), 2000);
+  EXPECT_EQ(dim.col(c.d_moy).Int(0), 1);
+  EXPECT_EQ(dim.col(c.d_dom).Int(0), 1);
+  EXPECT_EQ(dim.col(c.d_quarter).Int(0), 1);
+  EXPECT_EQ(dim.col(c.d_quarter_name).Str(0), "first");
+  // Surrogates increase by one per day.
+  EXPECT_EQ(dim.col(c.d_date_sk).Int(1) - dim.col(c.d_date_sk).Int(0), 1);
+  EXPECT_TRUE(engine::IsSortedBy(dim, {c.d_date_sk}));
+}
+
+// Figure 2 / Example 4 empirically: every prescribed OD of the date
+// dimension holds on the generated instance.
+TEST(DateDimTest, PrescribedOdsHoldOnInstance) {
+  engine::Table dim = GenerateDateDim(1999, 3);
+  Relation r = ToRelation(dim);
+  const DependencySet prescribed = DateDimOds();
+  for (const auto& dep : prescribed.ods()) {
+    EXPECT_TRUE(Satisfies(r, dep)) << dep.ToString();
+  }
+  const DependencySet fd_shaped = DateDimFdShapedOds();
+  for (const auto& dep : fd_shaped.ods()) {
+    EXPECT_TRUE(Satisfies(r, dep)) << dep.ToString();
+  }
+}
+
+// The Example 1 trap: d_quarter_name is functionally determined by d_moy but
+// NOT ordered by it — "first", "fourth", "second", "third" sort
+// alphabetically, not by calendar.
+TEST(DateDimTest, QuarterNameIsFdButNotOd) {
+  engine::Table dim = GenerateDateDim(2001, 1);
+  Relation r = ToRelation(dim);
+  const DateDimColumns c;
+  // FD-shaped OD holds: [d_moy] ↦ [d_moy, d_quarter_name].
+  EXPECT_TRUE(Satisfies(
+      r, OrderDependency(AttributeList({c.d_moy}),
+                         AttributeList({c.d_moy, c.d_quarter_name}))));
+  // But the plain OD [d_moy] ↦ [d_quarter_name] is falsified — by a swap.
+  auto w = FindViolation(r, OrderDependency(
+                                AttributeList({c.d_moy}),
+                                AttributeList({c.d_quarter_name})));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->kind, ViolationKind::kSwap);
+}
+
+// Theorem 10 (Path) consequences on the prescribed set: the prover derives
+// interleavings of the Figure 2 hierarchy, e.g.
+// [d_date] ↦ [d_year, d_quarter, d_moy, d_dom].
+TEST(DateDimTest, PathTheoremConsequences) {
+  prover::Prover pv(DateDimOds());
+  const DateDimColumns c;
+  EXPECT_TRUE(pv.Implies(
+      AttributeList({c.d_date}),
+      AttributeList({c.d_year, c.d_quarter, c.d_moy, c.d_dom})));
+  EXPECT_TRUE(pv.Implies(AttributeList({c.d_date_sk}),
+                         AttributeList({c.d_year, c.d_quarter})));
+  EXPECT_TRUE(pv.Implies(AttributeList({c.d_date}),
+                         AttributeList({c.d_year, c.d_woy})));
+  // And the ones that must NOT follow:
+  EXPECT_FALSE(pv.Implies(AttributeList({c.d_year, c.d_woy}),
+                          AttributeList({c.d_date})));
+  EXPECT_FALSE(pv.Implies(AttributeList({c.d_moy}),
+                          AttributeList({c.d_date})));
+}
+
+// ... and those consequences hold on the generated data.
+TEST(DateDimTest, DerivedOdsHoldOnInstance) {
+  engine::Table dim = GenerateDateDim(2000, 3);
+  Relation r = ToRelation(dim);
+  const DateDimColumns c;
+  EXPECT_TRUE(Satisfies(
+      r, OrderDependency(
+             AttributeList({c.d_date}),
+             AttributeList({c.d_year, c.d_quarter, c.d_moy, c.d_dom}))));
+  EXPECT_TRUE(SatisfiesEquivalence(
+      r, AttributeList({c.d_year, c.d_quarter, c.d_moy}),
+      AttributeList({c.d_year, c.d_moy})));
+}
+
+TEST(StarSchemaTest, FactGeneration) {
+  engine::Table dim = GenerateDateDim(2000, 2);
+  const int64_t first_sk = dim.col(0).Int(0);
+  engine::Table fact =
+      GenerateStoreSales(5000, first_sk, dim.num_rows(), 100, 12, 7);
+  EXPECT_EQ(fact.num_rows(), 5000);
+  const StoreSalesColumns f;
+  for (int64_t i = 0; i < fact.num_rows(); i += 97) {
+    const int64_t sk = fact.col(f.ss_sold_date_sk).Int(i);
+    EXPECT_GE(sk, first_sk);
+    EXPECT_LT(sk, first_sk + dim.num_rows());
+    EXPECT_GE(fact.col(f.ss_store_sk).Int(i), 1);
+    EXPECT_LE(fact.col(f.ss_store_sk).Int(i), 12);
+    EXPECT_NEAR(fact.col(f.ss_net_paid).Double(i),
+                fact.col(f.ss_quantity).Int(i) *
+                    fact.col(f.ss_sales_price).Double(i),
+                1e-9);
+  }
+  EXPECT_EQ(GenerateItems(100, 1).num_rows(), 100);
+  EXPECT_EQ(GenerateStores(12, 1).num_rows(), 12);
+}
+
+TEST(TaxScheduleTest, Example5OdsHold) {
+  engine::Table taxes = GenerateTaxTable(2000, 400000, 11);
+  Relation r = ToRelation(taxes);
+  const DependencySet tax_ods = TaxOds();
+  for (const auto& dep : tax_ods.ods()) {
+    EXPECT_TRUE(Satisfies(r, dep)) << dep.ToString();
+  }
+  // Union consequence (Example 5): [income] ↦ [bracket, tax].
+  const TaxColumns c;
+  EXPECT_TRUE(Satisfies(r, OrderDependency(
+                               AttributeList({c.income}),
+                               AttributeList({c.bracket, c.tax}))));
+  prover::Prover pv(TaxOds());
+  EXPECT_TRUE(pv.Implies(AttributeList({c.income}),
+                         AttributeList({c.bracket, c.tax})));
+}
+
+}  // namespace
+}  // namespace warehouse
+}  // namespace od
