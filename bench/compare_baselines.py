@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression gate for the checked-in benchmark baselines.
+
+Usage:
+  # 1. Re-run the benches into a scratch directory:
+  for b in build/bench/bench_*; do
+    "$b" --benchmark_format=json --benchmark_out=/tmp/bench-now/$(basename "$b").json \
+         --benchmark_out_format=json > /dev/null
+  done
+  # 2. Compare against the checked-in baselines:
+  python3 bench/compare_baselines.py --baseline bench/baselines --current /tmp/bench-now
+
+Benchmarks are matched by (file, benchmark name); a benchmark regresses when
+its real time exceeds baseline * --threshold. New and vanished benchmarks
+are reported but only vanished ones fail the gate (a deleted benchmark
+should also delete or regenerate its baseline). Exit status: 0 clean,
+1 regressions or vanished benchmarks.
+
+The default threshold is deliberately loose (1.5x): baselines are captured
+on whatever machine the author had, and this gate is meant to catch
+order-of-magnitude accidents (a dropped cache, an O(n) turned O(n^2)), not
+to police noise. Tighten with --threshold for same-machine comparisons.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time in ns} for one google-benchmark JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        # Normalize to nanoseconds regardless of the bench's reporting unit.
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+        times[b["name"]] = b["real_time"] * unit
+    return times
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", default="bench/baselines",
+                    help="directory of checked-in baseline JSON files")
+    ap.add_argument("--current", required=True,
+                    help="directory of freshly captured JSON files")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="fail when current > baseline * threshold (default 1.5)")
+    args = ap.parse_args()
+
+    baseline_files = {f for f in os.listdir(args.baseline) if f.endswith(".json")}
+    current_files = {f for f in os.listdir(args.current) if f.endswith(".json")}
+
+    regressions, vanished, improved, checked = [], [], 0, 0
+    for fname in sorted(baseline_files):
+        if fname not in current_files:
+            vanished.append((fname, "<entire file>"))
+            continue
+        base = load_times(os.path.join(args.baseline, fname))
+        curr = load_times(os.path.join(args.current, fname))
+        for name, base_ns in sorted(base.items()):
+            if name not in curr:
+                vanished.append((fname, name))
+                continue
+            checked += 1
+            ratio = curr[name] / base_ns if base_ns > 0 else float("inf")
+            if ratio > args.threshold:
+                regressions.append((fname, name, base_ns, curr[name], ratio))
+            elif ratio < 1.0 / args.threshold:
+                improved += 1
+        for name in sorted(set(curr) - set(base)):
+            print(f"NEW       {fname}:{name} (no baseline; re-capture to track it)")
+
+    for fname, name, base_ns, curr_ns, ratio in regressions:
+        print(f"REGRESSED {fname}:{name}  {fmt_ns(base_ns)} -> {fmt_ns(curr_ns)}"
+              f"  ({ratio:.2f}x, threshold {args.threshold}x)")
+    for fname, name in vanished:
+        print(f"VANISHED  {fname}:{name}")
+
+    print(f"\n{checked} benchmarks checked against {len(baseline_files)} baseline files: "
+          f"{len(regressions)} regressed, {improved} improved >{args.threshold}x, "
+          f"{len(vanished)} vanished")
+    return 1 if regressions or vanished else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+// Walkthrough for the OD discovery subsystem: build a date-dimension-style
+// table, mine its order dependencies from the data alone, and feed the
+// result straight into the theorem prover.
+//
+// Build & run:  cmake -B build && cmake --build build
+//               ./build/examples/discover_ods
+
+#include <cstdio>
+
+#include "discovery/discovery.h"
+#include "engine/table.h"
+#include "prover/prover.h"
+
+int main() {
+  using namespace od;
+
+  // 1. A miniature date dimension: date is a key, month determines (and
+  //    orders) quarter, date orders everything, but quarter_name — the
+  //    English name — is functionally determined by quarter without
+  //    agreeing with its order (the paper's Example 1 trap).
+  engine::Schema schema;
+  schema.Add("date", engine::DataType::kInt64);
+  schema.Add("month", engine::DataType::kInt64);
+  schema.Add("quarter", engine::DataType::kInt64);
+  schema.Add("qname", engine::DataType::kString);
+  engine::Table dates(schema);
+  const char* qnames[] = {"first", "second", "third", "fourth"};
+  for (int64_t day = 0; day < 360; ++day) {
+    const int64_t month = day / 30 + 1;
+    const int64_t quarter = (month - 1) / 3 + 1;
+    dates.AppendRow({Value(day), Value(month), Value(quarter),
+                     Value(qnames[quarter - 1])});
+  }
+  std::printf("Mining a %lld-row, %d-column date dimension...\n\n",
+              static_cast<long long>(dates.num_rows()), dates.num_columns());
+
+  // 2. Mine. The result carries both the canonical set-based ODs and their
+  //    list-form translation.
+  discovery::DiscoveryResult mined = discovery::DiscoverODs(dates);
+
+  std::printf("Canonical constancy ODs (context: [] ↦ attr, i.e. FDs):\n");
+  for (const auto& c : mined.constancies) {
+    std::printf("  %s: [] -> %s\n", mined.names.Format(c.context).c_str(),
+                mined.names.Name(c.attr).c_str());
+  }
+  std::printf("Canonical compatibility ODs (context: a ~ b):\n");
+  for (const auto& c : mined.compatibilities) {
+    std::printf("  %s: %s ~ %s\n", mined.names.Format(c.context).c_str(),
+                mined.names.Name(c.a).c_str(), mined.names.Name(c.b).c_str());
+  }
+  std::printf("\nList-form cover (%d ODs):\n%s\n", mined.ods.Size(),
+              mined.ods.ToString(mined.names).c_str());
+
+  // 3. The discovered cover is a first-class DependencySet: hand it to the
+  //    prover and ask about ODs that were never materialized explicitly.
+  prover::Prover pv(mined.ods);
+  const AttributeId date = mined.names.Lookup("date");
+  const AttributeId month = mined.names.Lookup("month");
+  const AttributeId quarter = mined.names.Lookup("quarter");
+  const AttributeId qname = mined.names.Lookup("qname");
+  auto ask = [&](const char* text, const OrderDependency& dep) {
+    std::printf("discovered ⊨ %-34s %s\n", text,
+                pv.Implies(dep) ? "yes" : "no");
+  };
+  ask("[date] -> [month, quarter]",
+      OrderDependency(AttributeList({date}), AttributeList({month, quarter})));
+  ask("[month] -> [quarter]",
+      OrderDependency(AttributeList({month}), AttributeList({quarter})));
+  ask("[quarter] -> [qname]  (order!)",
+      OrderDependency(AttributeList({quarter}), AttributeList({qname})));
+  std::printf("discovered ⊨ FD quarter -> qname?   %s\n",
+              pv.ImpliesFd(AttributeSet({quarter}), AttributeSet({qname}))
+                  ? "yes"
+                  : "no");
+
+  // 4. Mining stats: the pruning rules keep the lattice small.
+  std::printf(
+      "\nstats: %lld lattice nodes, %lld split checks, %lld swap checks,\n"
+      "       %lld trivial swaps pruned, %lld partitions materialized\n",
+      static_cast<long long>(mined.stats.nodes_visited),
+      static_cast<long long>(mined.stats.split_checks),
+      static_cast<long long>(mined.stats.swap_checks),
+      static_cast<long long>(mined.stats.trivial_swaps_pruned),
+      static_cast<long long>(mined.partitions_computed));
+  return 0;
+}

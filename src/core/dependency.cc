@@ -12,6 +12,20 @@ std::string OrderDependency::ToString(const NameTable& names) const {
   return names.Format(lhs) + " -> " + names.Format(rhs);
 }
 
+size_t OrderDependencyHash::operator()(const OrderDependency& od) const {
+  // Boost-style hash_combine over the lhs attributes, a side separator,
+  // then the rhs attributes; the separator keeps [A] ↦ [B] and [A, B] ↦ []
+  // from colliding structurally.
+  size_t h = 0;
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (AttributeId a : od.lhs.attrs()) mix(static_cast<size_t>(a));
+  mix(static_cast<size_t>(-1));
+  for (AttributeId a : od.rhs.attrs()) mix(static_cast<size_t>(a));
+  return h;
+}
+
 std::vector<OrderDependency> Equivalence(const AttributeList& x,
                                          const AttributeList& y) {
   return {OrderDependency(x, y), OrderDependency(y, x)};

@@ -47,6 +47,12 @@ struct OrderDependency {
   }
 };
 
+/// Hash functor for OrderDependency, mixing both attribute lists — makes
+/// ODs usable as std::unordered_map/set keys (e.g. the prover's memo cache).
+struct OrderDependencyHash {
+  size_t operator()(const OrderDependency& od) const;
+};
+
 /// Builds the two ODs whose conjunction is the order equivalence X ↔ Y
 /// (X ↦ Y and Y ↦ X).
 std::vector<OrderDependency> Equivalence(const AttributeList& x,

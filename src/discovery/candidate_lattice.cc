@@ -1,0 +1,187 @@
+#include "discovery/candidate_lattice.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace od {
+namespace discovery {
+
+namespace {
+
+using AttrPair = std::pair<AttributeId, AttributeId>;  // always a < b
+
+struct Node {
+  AttributeSet attrs;
+  /// TANE C⁺(X): attributes that may still be the RHS of a minimal
+  /// constancy OD at X or below.
+  AttributeSet rhs_candidates;
+  /// Open pair candidates {a, b} ⊆ attrs (context attrs \ {a, b}), sorted.
+  std::vector<AttrPair> pairs;
+
+  bool HasPair(const AttrPair& p) const {
+    return std::binary_search(pairs.begin(), pairs.end(), p);
+  }
+};
+
+using Level = std::vector<Node>;
+
+/// Index of a level's nodes by attribute-set bits.
+std::unordered_map<uint64_t, const Node*> IndexLevel(const Level& level) {
+  std::unordered_map<uint64_t, const Node*> index;
+  index.reserve(level.size());
+  for (const Node& n : level) index.emplace(n.attrs.bits(), &n);
+  return index;
+}
+
+/// Validates the still-open split candidates of `node` (TANE
+/// COMPUTE_DEPENDENCIES step), recording minimal constancy ODs.
+void ProcessSplits(Node& node, ValidationOracle& oracle,
+                   const AttributeSet& universe, fd::FdSet& discovered,
+                   LatticeResult& out) {
+  // A hit removes only the hit attribute and everything outside the node
+  // from C⁺, so the remaining snapshot entries (all inside the node) stay
+  // valid candidates as the loop mutates the set.
+  for (AttributeId a : node.attrs.Intersect(node.rhs_candidates).ToVector()) {
+    AttributeSet context = node.attrs;
+    context.Remove(a);
+    ++out.stats.split_checks;
+    if (!oracle.ConstancyHolds(context, a)) continue;
+    out.constancies.push_back({context, a});
+    discovered.Add(context, AttributeSet({a}));
+    node.rhs_candidates.Remove(a);
+    node.rhs_candidates =
+        node.rhs_candidates.Minus(universe.Minus(node.attrs));
+  }
+}
+
+/// Validates the open pair candidates of `node`, after the FD-closure
+/// triviality prune. Pairs that validate (or prove trivial) are removed so
+/// superset nodes treat them as settled.
+void ProcessSwaps(Node& node, ValidationOracle& oracle,
+                  const fd::FdSet& discovered, LatticeResult& out) {
+  std::vector<AttrPair> still_open;
+  still_open.reserve(node.pairs.size());
+  for (const AttrPair& p : node.pairs) {
+    AttributeSet context = node.attrs;
+    context.Remove(p.first);
+    context.Remove(p.second);
+    const AttributeSet closure = discovered.Closure(context);
+    if (closure.Contains(p.first) || closure.Contains(p.second)) {
+      // One side is constant within every context class (this also covers
+      // superkey contexts): the compatibility holds trivially and is
+      // implied by the constancy cover, so it is neither validated nor
+      // reported.
+      ++out.stats.trivial_swaps_pruned;
+      continue;
+    }
+    ++out.stats.swap_checks;
+    if (oracle.CompatibilityHolds(context, p.first, p.second)) {
+      out.compatibilities.push_back({context, p.first, p.second});
+    } else {
+      still_open.push_back(p);
+    }
+  }
+  node.pairs = std::move(still_open);
+}
+
+/// Builds level l + 1 from level l: every superset-by-one of an alive node,
+/// with C⁺ intersected over all parents and pair candidates inherited from
+/// every parent containing the pair. Parents dropped as dead contribute an
+/// empty C⁺ and no pairs, which is exactly what their deadness certifies.
+Level GenerateNextLevel(const Level& prev, const AttributeSet& universe,
+                        LatticeStats& stats) {
+  const auto index = IndexLevel(prev);
+  std::unordered_map<uint64_t, bool> seen;
+  Level next;
+  for (const Node& parent : prev) {
+    for (AttributeId add : universe.Minus(parent.attrs).ToVector()) {
+      AttributeSet attrs = parent.attrs;
+      attrs.Add(add);
+      if (!seen.emplace(attrs.bits(), true).second) continue;
+
+      Node child;
+      child.attrs = attrs;
+      child.rhs_candidates = universe;
+      for (AttributeId drop : attrs.ToVector()) {
+        AttributeSet sub = attrs;
+        sub.Remove(drop);
+        auto it = index.find(sub.bits());
+        child.rhs_candidates = it == index.end()
+                                   ? AttributeSet::Empty()
+                                   : child.rhs_candidates.Intersect(
+                                         it->second->rhs_candidates);
+      }
+
+      const std::vector<AttributeId> members = attrs.ToVector();
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          const AttrPair p{members[i], members[j]};
+          bool open = true;
+          if (attrs.Size() > 2) {
+            for (AttributeId c : members) {
+              if (c == p.first || c == p.second) continue;
+              AttributeSet sub = attrs;
+              sub.Remove(c);
+              auto it = index.find(sub.bits());
+              if (it == index.end() || !it->second->HasPair(p)) {
+                open = false;
+                break;
+              }
+            }
+          }
+          if (open) child.pairs.push_back(p);
+        }
+      }
+
+      if (child.rhs_candidates.IsEmpty() && child.pairs.empty()) {
+        ++stats.nodes_dropped;
+        continue;
+      }
+      next.push_back(std::move(child));
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
+                              const LatticeOptions& opts) {
+  LatticeResult out;
+  const AttributeSet universe = AttributeSet::FirstN(num_attributes);
+  const int max_level = opts.max_level < 0
+                            ? num_attributes
+                            : std::min(opts.max_level, num_attributes);
+
+  // The discovered constancy ODs, as FDs: drives the implied-candidate and
+  // key/constant-context pruning via attribute-set closure. A pair's
+  // context at level l has l − 2 attributes, so every FD relevant to its
+  // closure was settled at level l − 1 or earlier.
+  fd::FdSet discovered;
+
+  Level level;
+  Node root;
+  root.attrs = AttributeSet::Empty();
+  root.rhs_candidates = universe;
+  level.push_back(root);
+
+  for (int l = 1; l <= max_level && !level.empty(); ++l) {
+    level = GenerateNextLevel(level, universe, out.stats);
+    out.stats.levels = l;
+    for (Node& node : level) {
+      ++out.stats.nodes_visited;
+      ProcessSplits(node, oracle, universe, discovered, out);
+    }
+    // Swaps after splits: a level-l pair context has l − 2 attributes, and
+    // the closure prune wants every FD with an LHS that small — all found
+    // by the end of this level's split pass.
+    for (Node& node : level) {
+      if (node.attrs.Size() >= 2) ProcessSwaps(node, oracle, discovered, out);
+    }
+    oracle.OnLevelFinished(l);
+  }
+  return out;
+}
+
+}  // namespace discovery
+}  // namespace od

@@ -1,0 +1,167 @@
+#include "discovery/stripped_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace od {
+namespace discovery {
+
+void StrippedPartition::Finalize() {
+  // Canonical form: rows ascending within a class, classes ordered by their
+  // smallest row. Construction already yields ascending rows; sorting the
+  // classes makes results independent of hash-map iteration order.
+  std::sort(classes_.begin(), classes_.end(),
+            [](const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+              return a.front() < b.front();
+            });
+  error_ = 0;
+  for (const auto& c : classes_) {
+    error_ += static_cast<int64_t>(c.size()) - 1;
+  }
+}
+
+StrippedPartition StrippedPartition::Universe(int64_t num_rows) {
+  StrippedPartition out;
+  out.num_rows_ = num_rows;
+  if (num_rows >= 2) {
+    std::vector<int64_t> all(num_rows);
+    for (int64_t i = 0; i < num_rows; ++i) all[i] = i;
+    out.classes_.push_back(std::move(all));
+  }
+  out.Finalize();
+  return out;
+}
+
+namespace {
+
+template <typename Key, typename Getter>
+std::vector<std::vector<int64_t>> GroupRows(int64_t num_rows, Getter get) {
+  std::unordered_map<Key, std::vector<int64_t>> groups;
+  for (int64_t row = 0; row < num_rows; ++row) {
+    groups[get(row)].push_back(row);
+  }
+  std::vector<std::vector<int64_t>> classes;
+  for (auto& [key, rows] : groups) {
+    if (rows.size() >= 2) classes.push_back(std::move(rows));
+  }
+  return classes;
+}
+
+/// Grouping key for doubles. Hash-map equality (a == b) disagrees with the
+/// engine's Column::Compare on the IEEE edge cases — NaN != NaN would put
+/// every NaN row in its own (stripped) singleton and -0.0/+0.0 hash
+/// unreliably — so group by the bit pattern with both normalized: all NaNs
+/// to one key, -0.0 to +0.0.
+uint64_t DoubleKey(double v) {
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+StrippedPartition StrippedPartition::ForColumn(const engine::Table& t,
+                                               engine::ColumnId c) {
+  assert(c >= 0 && c < t.num_columns());
+  StrippedPartition out;
+  out.num_rows_ = t.num_rows();
+  const engine::Column& col = t.col(c);
+  switch (col.type()) {
+    case engine::DataType::kInt64:
+      out.classes_ = GroupRows<int64_t>(
+          t.num_rows(), [&](int64_t row) { return col.Int(row); });
+      break;
+    case engine::DataType::kDouble:
+      out.classes_ = GroupRows<uint64_t>(
+          t.num_rows(), [&](int64_t row) { return DoubleKey(col.Double(row)); });
+      break;
+    case engine::DataType::kString:
+      out.classes_ = GroupRows<std::string>(
+          t.num_rows(), [&](int64_t row) { return col.Str(row); });
+      break;
+  }
+  out.Finalize();
+  return out;
+}
+
+StrippedPartition StrippedPartition::Product(
+    const StrippedPartition& other) const {
+  assert(num_rows_ == other.num_rows_);
+  StrippedPartition out;
+  out.num_rows_ = num_rows_;
+
+  // owner[row] = index of this partition's class containing `row`, or -1 if
+  // the row is stripped (singleton) on this side — then it is a singleton in
+  // the product too.
+  std::vector<int32_t> owner(num_rows_, -1);
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    for (int64_t row : classes_[i]) owner[row] = static_cast<int32_t>(i);
+  }
+
+  // For each class of `other`, bucket its rows by owner; every bucket of
+  // size ≥ 2 is a class of the product. `scratch` is reused across classes,
+  // reset via the touched list rather than wholesale.
+  std::vector<std::vector<int64_t>> scratch(classes_.size());
+  std::vector<int32_t> touched;
+  for (const auto& c : other.classes_) {
+    touched.clear();
+    for (int64_t row : c) {
+      const int32_t o = owner[row];
+      if (o < 0) continue;
+      if (scratch[o].empty()) touched.push_back(o);
+      scratch[o].push_back(row);
+    }
+    for (int32_t o : touched) {
+      if (scratch[o].size() >= 2) out.classes_.push_back(std::move(scratch[o]));
+      scratch[o].clear();
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+const StrippedPartition& PartitionCache::Get(const AttributeSet& x) {
+  auto it = cache_.find(x.bits());
+  if (it != cache_.end()) return it->second;
+
+  StrippedPartition part;
+  if (x.IsEmpty()) {
+    part = StrippedPartition::Universe(table_->num_rows());
+  } else if (x.Size() == 1) {
+    part = StrippedPartition::ForColumn(
+        *table_, static_cast<engine::ColumnId>(x.ToVector().front()));
+  } else {
+    // Split off the lowest attribute: π*(X) = π*(X \ {a}) · π*({a}). The
+    // level-wise traversal normally has the (l−1)-subset already cached, so
+    // the recursion is one product deep in practice.
+    const AttributeId a = x.ToVector().front();
+    AttributeSet rest = x;
+    rest.Remove(a);
+    const StrippedPartition& base = Get(AttributeSet({a}));
+    part = Get(rest).Product(base);
+  }
+  ++computed_;
+  auto [pos, inserted] = cache_.emplace(x.bits(), std::move(part));
+  assert(inserted);
+  return pos->second;
+}
+
+void PartitionCache::EvictLevel(int level) {
+  if (level <= 1) return;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (__builtin_popcountll(it->first) == level) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace discovery
+}  // namespace od

@@ -1,0 +1,59 @@
+#include "discovery/validators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace od {
+namespace discovery {
+
+bool SplitCandidateHolds(const StrippedPartition& ctx,
+                         const StrippedPartition& ctx_with_attr) {
+  assert(ctx.num_rows() == ctx_with_attr.num_rows());
+  // Refinement can only lower the error; equality means no context class
+  // was split by the attribute, i.e. the attribute is constant per class.
+  assert(ctx_with_attr.Error() <= ctx.Error());
+  return ctx.Error() == ctx_with_attr.Error();
+}
+
+std::optional<SwapWitness> FindSwap(const engine::Table& t,
+                                    const StrippedPartition& ctx,
+                                    engine::ColumnId a, engine::ColumnId b) {
+  const engine::Column& ca = t.col(a);
+  const engine::Column& cb = t.col(b);
+  std::vector<int64_t> idx;
+  for (const auto& cls : ctx.classes()) {
+    idx.assign(cls.begin(), cls.end());
+    std::sort(idx.begin(), idx.end(), [&](int64_t r1, int64_t r2) {
+      const int cmp = ca.Compare(r1, ca, r2);
+      if (cmp != 0) return cmp < 0;
+      return cb.Compare(r1, cb, r2) < 0;
+    });
+    // Walk the strict a-groups in ascending order. Within a group the rows
+    // are sorted by b, so the group's first row carries its minimum b and
+    // its last row the maximum. A swap exists iff some group's minimum b
+    // falls below the maximum b of any strictly earlier group.
+    int64_t max_b_row = -1;  // row realizing max b over earlier a-groups
+    size_t i = 0;
+    while (i < idx.size()) {
+      size_t j = i;
+      while (j < idx.size() && ca.Compare(idx[j], ca, idx[i]) == 0) ++j;
+      if (max_b_row >= 0 && cb.Compare(idx[i], cb, max_b_row) < 0) {
+        // max_b_row precedes idx[i] on a but exceeds it on b.
+        return SwapWitness{max_b_row, idx[i]};
+      }
+      if (max_b_row < 0 || cb.Compare(idx[j - 1], cb, max_b_row) > 0) {
+        max_b_row = idx[j - 1];
+      }
+      i = j;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SwapCandidateHolds(const engine::Table& t, const StrippedPartition& ctx,
+                        engine::ColumnId a, engine::ColumnId b) {
+  return !FindSwap(t, ctx, a, b).has_value();
+}
+
+}  // namespace discovery
+}  // namespace od

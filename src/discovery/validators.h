@@ -1,0 +1,56 @@
+#ifndef OD_DISCOVERY_VALIDATORS_H_
+#define OD_DISCOVERY_VALIDATORS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/attribute.h"
+#include "discovery/stripped_partition.h"
+#include "engine/table.h"
+
+namespace od {
+namespace discovery {
+
+/// The two validation primitives of set-based OD discovery. Every order
+/// dependency a relation can violate is violated by a two-tuple witness of
+/// one of two shapes (the split/swap dichotomy of the two-row model):
+///
+///   * a SPLIT of X: [] ↦ A — two rows agree on the context X but differ on
+///     A; equivalently the functional dependency X → A fails;
+///   * a SWAP of X: A ~ B — two rows agree on X, increase on A, and
+///     decrease on B; equivalently A and B are not order-compatible within
+///     some equivalence class of X.
+
+/// Does the constancy candidate X: [] ↦ A hold, given π*(X) and π*(X∪{A})?
+/// Holds iff refining the context by A separates nothing: e(π*(X)) equals
+/// e(π*(X∪{A})) (the TANE error-measure test, O(1) on cached partitions).
+bool SplitCandidateHolds(const StrippedPartition& ctx,
+                         const StrippedPartition& ctx_with_attr);
+
+/// A two-row witness that a swap candidate fails: rows s, t in the same
+/// context class with t[a] > s[a] but t[b] < s[b].
+struct SwapWitness {
+  int64_t s = -1;
+  int64_t t = -1;
+};
+
+/// Searches the classes of π*(ctx) for a swap between columns `a` and `b`.
+/// Per class the check sorts the rows by (a, b) and verifies that as `a`
+/// strictly increases, `b` never falls below the maximum seen in earlier
+/// `a`-groups — O(k log k) per class instead of the naive O(k²) pair scan.
+/// Ties in `a` permit any `b` values (order compatibility constrains strict
+/// increases only; equal-on-a rows are ordered freely by a's side).
+std::optional<SwapWitness> FindSwap(const engine::Table& t,
+                                    const StrippedPartition& ctx,
+                                    engine::ColumnId a, engine::ColumnId b);
+
+/// Does the compatibility candidate X: A ~ B hold (no swap in any class)?
+/// Symmetric in `a` and `b`: a swap for (a, b) read backwards is a swap for
+/// (b, a).
+bool SwapCandidateHolds(const engine::Table& t, const StrippedPartition& ctx,
+                        engine::ColumnId a, engine::ColumnId b);
+
+}  // namespace discovery
+}  // namespace od
+
+#endif  // OD_DISCOVERY_VALIDATORS_H_

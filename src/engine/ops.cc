@@ -3,12 +3,37 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace od {
 namespace engine {
 
+namespace {
+
+/// Rejects out-of-range column ids at operator entry. Callers routinely
+/// feed `Schema::Find` results straight into an operator, and Find returns
+/// -1 for an unknown name — without this check that -1 indexes the column
+/// vector out of bounds. Validated once per call, so the per-row hot loops
+/// stay unchecked.
+void CheckColumn(const Table& t, ColumnId c, const char* op) {
+  if (c < 0 || c >= t.num_columns()) {
+    throw std::out_of_range(
+        std::string(op) + ": column id " + std::to_string(c) +
+        " out of range [0, " + std::to_string(t.num_columns()) +
+        ") — note Schema::Find returns -1 for unknown column names");
+  }
+}
+
+void CheckColumns(const Table& t, const std::vector<ColumnId>& cols,
+                  const char* op) {
+  for (ColumnId c : cols) CheckColumn(t, c, op);
+}
+
+}  // namespace
+
 Table SortBy(const Table& t, const SortSpec& spec) {
+  CheckColumns(t, spec, "SortBy");
   std::vector<int64_t> perm(t.num_rows());
   std::iota(perm.begin(), perm.end(), 0);
   std::stable_sort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
@@ -20,6 +45,7 @@ Table SortBy(const Table& t, const SortSpec& spec) {
 }
 
 bool IsSortedBy(const Table& t, const SortSpec& spec) {
+  CheckColumns(t, spec, "IsSortedBy");
   for (int64_t i = 1; i < t.num_rows(); ++i) {
     if (t.CompareRows(i - 1, i, spec) > 0) return false;
   }
@@ -41,6 +67,7 @@ bool Predicate::Matches(const Table& t, int64_t row) const {
 
 std::vector<int64_t> FilterRowIds(const Table& t,
                                   const std::vector<Predicate>& preds) {
+  for (const auto& p : preds) CheckColumn(t, p.col, "Filter");
   std::vector<int64_t> out;
   for (int64_t i = 0; i < t.num_rows(); ++i) {
     bool ok = true;
@@ -135,8 +162,21 @@ std::string GroupKey(const Table& t, int64_t row,
 
 }  // namespace
 
+namespace {
+
+void CheckGroupByArgs(const Table& t, const std::vector<ColumnId>& group_cols,
+                      const std::vector<AggSpec>& aggs, const char* op) {
+  CheckColumns(t, group_cols, op);
+  for (const auto& a : aggs) {
+    if (a.kind != AggSpec::Kind::kCount) CheckColumn(t, a.col, op);
+  }
+}
+
+}  // namespace
+
 Table HashGroupBy(const Table& t, const std::vector<ColumnId>& group_cols,
                   const std::vector<AggSpec>& aggs) {
+  CheckGroupByArgs(t, group_cols, aggs, "HashGroupBy");
   Table out(AggOutputSchema(t, group_cols, aggs));
   std::unordered_map<std::string, int64_t> groups;  // key -> group index
   std::vector<int64_t> representative;
@@ -166,6 +206,7 @@ Table HashGroupBy(const Table& t, const std::vector<ColumnId>& group_cols,
 
 Table StreamGroupBy(const Table& t, const std::vector<ColumnId>& group_cols,
                     const std::vector<AggSpec>& aggs) {
+  CheckGroupByArgs(t, group_cols, aggs, "StreamGroupBy");
   Table out(AggOutputSchema(t, group_cols, aggs));
   std::vector<Acc> accs(aggs.size());
   int64_t group_start = 0;
@@ -241,6 +282,8 @@ void EmitJoinRow(const Table& left, int64_t lrow, const Table& right,
 
 Table HashJoin(const Table& left, ColumnId left_key, const Table& right,
                ColumnId right_key, const std::string& right_prefix) {
+  CheckColumn(left, left_key, "HashJoin (left key)");
+  CheckColumn(right, right_key, "HashJoin (right key)");
   Table out(JoinSchema(left, right, right_prefix));
   // Build on the smaller input by convention: the dimension (right).
   std::unordered_multimap<int64_t, int64_t> build;
@@ -260,6 +303,8 @@ Table HashJoin(const Table& left, ColumnId left_key, const Table& right,
 Table SortMergeJoin(const Table& left, ColumnId left_key, const Table& right,
                     ColumnId right_key, bool assume_sorted,
                     const std::string& right_prefix) {
+  CheckColumn(left, left_key, "SortMergeJoin (left key)");
+  CheckColumn(right, right_key, "SortMergeJoin (right key)");
   const Table* lp = &left;
   const Table* rp = &right;
   Table lsorted, rsorted;
@@ -298,6 +343,7 @@ Table SortMergeJoin(const Table& left, ColumnId left_key, const Table& right,
 }
 
 Table Project(const Table& t, const std::vector<ColumnId>& cols) {
+  CheckColumns(t, cols, "Project");
   Schema schema;
   for (ColumnId c : cols) {
     schema.Add(t.schema().col(c).name, t.schema().col(c).type);

@@ -14,6 +14,11 @@ namespace engine {
 /// Relational operators over `Table`. Each materializes its result — the
 /// engine exists to compare *plan shapes* (with/without sorts, joins,
 /// partition scans), not to compete on raw execution speed.
+///
+/// Every operator validates its ColumnId arguments once at entry and throws
+/// std::out_of_range for an invalid id — in particular the -1 that
+/// `Schema::Find` returns for an unknown column name. Per-row accessors
+/// stay unchecked.
 
 // ---------------------------------------------------------------------------
 // Sorting.

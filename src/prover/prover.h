@@ -2,8 +2,8 @@
 #define OD_PROVER_PROVER_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "core/dependency.h"
 #include "core/relation.h"
@@ -21,6 +21,14 @@ namespace prover {
 /// FD-style questions (split side) are answered in polynomial time through
 /// the FD projection (justified by Theorem 16); the general question falls
 /// back to the exponential-but-pruned model search, with memoization.
+///
+/// Thread safety: NOT thread-safe, including the `const` query methods —
+/// they mutate the memo cache (an unsynchronized std::unordered_map) and
+/// the search counter. Callers wanting concurrent implication queries must
+/// either give each thread its own Prover instance (construction from the
+/// same DependencySet is cheap relative to a model search) or serialize
+/// access externally. The planned parallel prover will replace the memo
+/// with a concurrent structure; until then this contract stands.
 class Prover {
  public:
   explicit Prover(DependencySet m);
@@ -58,7 +66,8 @@ class Prover {
   DependencySet m_;
   fd::FdSet fds_;
   AttributeSet universe_;
-  mutable std::map<OrderDependency, bool> cache_;
+  mutable std::unordered_map<OrderDependency, bool, OrderDependencyHash>
+      cache_;
   mutable int64_t search_count_ = 0;
 };
 

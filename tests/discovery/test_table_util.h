@@ -1,0 +1,31 @@
+#ifndef OD_TESTS_DISCOVERY_TEST_TABLE_UTIL_H_
+#define OD_TESTS_DISCOVERY_TEST_TABLE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace od {
+namespace discovery {
+
+/// Builds an all-int64 engine table from row-major literals — the shared
+/// fixture builder for the discovery test suites.
+inline engine::Table IntTable(const std::vector<std::string>& names,
+                              const std::vector<std::vector<int64_t>>& rows) {
+  engine::Schema s;
+  for (const auto& n : names) s.Add(n, engine::DataType::kInt64);
+  engine::Table t(s);
+  for (const auto& row : rows) {
+    std::vector<Value> vals;
+    for (int64_t v : row) vals.emplace_back(v);
+    t.AppendRow(vals);
+  }
+  return t;
+}
+
+}  // namespace discovery
+}  // namespace od
+
+#endif  // OD_TESTS_DISCOVERY_TEST_TABLE_UTIL_H_

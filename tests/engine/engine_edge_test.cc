@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "engine/index.h"
 #include "engine/ops.h"
 #include "engine/partition.h"
@@ -149,6 +151,30 @@ TEST(EngineEdgeTest, StringColumnsSortLexicographically) {
   EXPECT_EQ(sorted.col(0).Str(1), "fourth");  // alphabetical, not calendar!
   EXPECT_EQ(sorted.col(0).Str(2), "second");
   EXPECT_EQ(sorted.col(0).Str(3), "third");
+}
+
+TEST(EngineEdgeTest, OperatorsRejectInvalidColumnIds) {
+  Table t = EmptyTable();
+  t.AppendRow({Value(1), Value(2.0)});
+  // Schema::Find returns -1 for unknown names; feeding that id into an
+  // operator must throw instead of indexing out of bounds.
+  const ColumnId missing = t.Find("no_such_column");
+  ASSERT_EQ(missing, -1);
+  EXPECT_THROW(SortBy(t, {missing}), std::out_of_range);
+  EXPECT_THROW(IsSortedBy(t, {0, missing}), std::out_of_range);
+  EXPECT_THROW(Filter(t, {Predicate{missing, Predicate::Op::kEq, Value(1)}}),
+               std::out_of_range);
+  EXPECT_THROW(Project(t, {0, missing}), std::out_of_range);
+  EXPECT_THROW(HashGroupBy(t, {missing}, {}), std::out_of_range);
+  EXPECT_THROW(HashGroupBy(t, {0}, {{AggSpec::Kind::kSum, missing, "s"}}),
+               std::out_of_range);
+  EXPECT_THROW(StreamGroupBy(t, {missing}, {}), std::out_of_range);
+  EXPECT_THROW(HashDistinct(t, {missing}), std::out_of_range);
+  EXPECT_THROW(HashJoin(t, missing, t, 0), std::out_of_range);
+  EXPECT_THROW(HashJoin(t, 0, t, 99), std::out_of_range);
+  EXPECT_THROW(SortMergeJoin(t, 0, t, missing, false), std::out_of_range);
+  // A kCount aggregate ignores its column id — even an invalid one.
+  EXPECT_NO_THROW(HashGroupBy(t, {0}, {{AggSpec::Kind::kCount, -1, "n"}}));
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+// Edge cases for engine::PartitionedTable: empty tables, degenerate
+// partition counts, all-equal partition columns, and range scans that miss
+// every partition.
+
+#include <gtest/gtest.h>
+
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+
+namespace od {
+namespace engine {
+namespace {
+
+Table KeyValueTable(const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  Schema s;
+  s.Add("k", DataType::kInt64);
+  s.Add("v", DataType::kInt64);
+  Table t(s);
+  for (const auto& [k, v] : rows) {
+    t.AppendRow({Value(k), Value(v)});
+  }
+  return t;
+}
+
+TEST(PartitionEdgeTest, EmptyTable) {
+  Table t = KeyValueTable({});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 4);
+  EXPECT_EQ(pt.num_partitions(), 4);
+  EXPECT_EQ(pt.total_rows(), 0);
+  EXPECT_EQ(pt.ScanAll().num_rows(), 0);
+  int scanned = -1;
+  Table out = pt.ScanRange(0, 100, &scanned);
+  EXPECT_EQ(out.num_rows(), 0);
+  // The empty table degenerates to value range [0, 0]: one partition
+  // overlaps the probe.
+  EXPECT_EQ(scanned, pt.CountOverlapping(0, 100));
+}
+
+TEST(PartitionEdgeTest, SinglePartitionHoldsEverything) {
+  Table t = KeyValueTable({{5, 1}, {9, 2}, {1, 3}});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 1);
+  ASSERT_EQ(pt.num_partitions(), 1);
+  EXPECT_EQ(pt.total_rows(), 3);
+  EXPECT_EQ(pt.range(0).first, 1);
+  EXPECT_EQ(pt.range(0).second, 9);
+  EXPECT_TRUE(SameRowMultiset(pt.ScanAll(), t));
+  int scanned = -1;
+  EXPECT_EQ(pt.ScanRange(5, 9, &scanned).num_rows(), 2);
+  EXPECT_EQ(scanned, 1);
+}
+
+TEST(PartitionEdgeTest, AllEqualPartitionColumn) {
+  // Every row lands in the first bucket; the rest are empty but the
+  // partitioning and both scan paths stay consistent.
+  Table t = KeyValueTable({{7, 1}, {7, 2}, {7, 3}, {7, 4}});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 3);
+  EXPECT_EQ(pt.num_partitions(), 3);
+  EXPECT_EQ(pt.total_rows(), 4);
+  EXPECT_EQ(pt.partition(0).num_rows(), 4);
+  EXPECT_EQ(pt.partition(1).num_rows(), 0);
+  EXPECT_EQ(pt.partition(2).num_rows(), 0);
+  EXPECT_TRUE(SameRowMultiset(pt.ScanAll(), t));
+  int scanned = -1;
+  Table hit = pt.ScanRange(7, 7, &scanned);
+  EXPECT_EQ(hit.num_rows(), 4);
+  EXPECT_EQ(scanned, 1);
+}
+
+TEST(PartitionEdgeTest, ScanRangeDisjointFromAllPartitions) {
+  Table t = KeyValueTable({{10, 1}, {20, 2}, {30, 3}, {40, 4}});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 4);
+
+  // Entirely above every partition range.
+  int scanned = -1;
+  Table above = pt.ScanRange(1000, 2000, &scanned);
+  EXPECT_EQ(above.num_rows(), 0);
+  EXPECT_EQ(scanned, 0);
+  EXPECT_EQ(pt.CountOverlapping(1000, 2000), 0);
+  // The empty result still carries the table's schema.
+  EXPECT_EQ(above.num_columns(), 2);
+
+  // Entirely below.
+  scanned = -1;
+  EXPECT_EQ(pt.ScanRange(-50, 5, &scanned).num_rows(), 0);
+  EXPECT_EQ(scanned, 0);
+
+  // Inverted bounds (hi < lo) match nothing.
+  scanned = -1;
+  EXPECT_EQ(pt.ScanRange(25, 15, &scanned).num_rows(), 0);
+  EXPECT_EQ(scanned, 0);
+}
+
+TEST(PartitionEdgeTest, DisjointGapBetweenPartitions) {
+  // A probe falling in the value gap inside one partition's range touches
+  // that partition but yields no rows.
+  Table t = KeyValueTable({{1, 1}, {100, 2}});
+  PartitionedTable pt = PartitionedTable::PartitionByRange(t, 0, 2);
+  int scanned = -1;
+  Table mid = pt.ScanRange(40, 45, &scanned);
+  EXPECT_EQ(mid.num_rows(), 0);
+  EXPECT_EQ(scanned, pt.CountOverlapping(40, 45));
+  EXPECT_GE(scanned, 0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace od
