@@ -1,0 +1,113 @@
+// Experiment P-PROVER: batch implication throughput of the concurrent
+// prover. A fixed batch of queries — every ordered attribute pair under a
+// transitive-chain or random theory, so roughly half the answers need a
+// full refutation search — is decided by `Prover::ProveAll` fanned across a
+// thread pool, sweeping the pool size. The thread=1 entries are the serial
+// baseline the speedup gate compares against: on an 8-core machine the
+// 8-thread run is expected ≥3× faster (compare_baselines.py enforces this
+// indirectly, per-name against baselines captured on the same machine).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "prover/prover.h"
+
+namespace od {
+namespace {
+
+DependencySet ChainTheory(int n) {
+  // a0 ↦ a1 ↦ ... ↦ a(n-1): implied queries traverse transitivity, refuted
+  // ones must navigate every constraint to build a model.
+  DependencySet m;
+  for (int i = 0; i + 1 < n; ++i) {
+    m.Add(AttributeList({i}), AttributeList({i + 1}));
+  }
+  return m;
+}
+
+DependencySet RandomTheory(int n, int num_ods, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> attr(0, n - 1);
+  std::uniform_int_distribution<int> len(1, 2);
+  DependencySet m;
+  for (int i = 0; i < num_ods; ++i) {
+    AttributeList lhs, rhs;
+    for (int k = len(rng); k > 0; --k) lhs = lhs.Append(attr(rng));
+    for (int k = len(rng); k > 0; --k) rhs = rhs.Append(attr(rng));
+    m.Add(lhs.RemoveDuplicates(), rhs.RemoveDuplicates());
+  }
+  return m;
+}
+
+/// Every ordered pair query [i] ↦ [j] plus the two-attribute variants
+/// [i] ↦ [j, (j+1) mod n] — all distinct, so on a fresh prover the batch
+/// is pure search work with no cross-query cache hits.
+std::vector<OrderDependency> PairQueries(int n) {
+  std::vector<OrderDependency> queries;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      queries.emplace_back(AttributeList({i}), AttributeList({j}));
+      queries.emplace_back(AttributeList({i}),
+                           AttributeList({j, (j + 1) % n}));
+    }
+  }
+  return queries;
+}
+
+void RunBatch(benchmark::State& state, const DependencySet& m,
+              const std::vector<OrderDependency>& queries) {
+  const int threads = static_cast<int>(state.range(0));
+  common::ThreadPool pool(threads);
+  for (auto _ : state) {
+    prover::Prover pv(m);  // fresh memo: every query is a real search
+    auto results = pv.ProveAll(queries, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+
+void BM_ProveAllChain(benchmark::State& state) {
+  const int n = 14;
+  RunBatch(state, ChainTheory(n), PairQueries(n));
+}
+
+void BM_ProveAllRandom(benchmark::State& state) {
+  const int n = 12;
+  RunBatch(state, RandomTheory(n, /*num_ods=*/n, /*seed=*/7), PairQueries(n));
+}
+
+void BM_ConcurrentSharedMemo(benchmark::State& state) {
+  // The optimizer deployment shape: a long-lived prover answering an
+  // overlapping stream of questions from many threads — after the first
+  // pass the memo absorbs everything, so this measures the sharded cache
+  // under read contention.
+  const int threads = static_cast<int>(state.range(0));
+  const int n = 12;
+  DependencySet m = ChainTheory(n);
+  const std::vector<OrderDependency> queries = PairQueries(n);
+  prover::Prover pv(m);
+  common::ThreadPool pool(threads);
+  pv.ProveAll(queries, threads > 1 ? &pool : nullptr);  // warm the memo
+  for (auto _ : state) {
+    auto results = pv.ProveAll(queries, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+
+BENCHMARK(BM_ProveAllChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ProveAllRandom)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ConcurrentSharedMemo)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace od
+
+BENCHMARK_MAIN();

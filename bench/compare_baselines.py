@@ -11,10 +11,14 @@ Usage:
   python3 bench/compare_baselines.py --baseline bench/baselines --current /tmp/bench-now
 
 Benchmarks are matched by (file, benchmark name); a benchmark regresses when
-its real time exceeds baseline * --threshold. New and vanished benchmarks
-are reported but only vanished ones fail the gate (a deleted benchmark
-should also delete or regenerate its baseline). Exit status: 0 clean,
-1 regressions or vanished benchmarks.
+its real time exceeds baseline * --threshold. The match must be exact in
+BOTH directions: a baseline entry (or file) with no current counterpart
+fails as VANISHED, and a current entry (or file) with no baseline fails as
+NEW — otherwise a renamed bench silently drops out of the gate, leaving its
+stale baseline and its fresh run both unchecked. After an intentional
+rename or addition, re-capture the affected baseline JSONs (or run with
+--allow-new to let additions through while you iterate). Exit status:
+0 clean, 1 regressions / vanished / unexpected-new benchmarks.
 
 The default threshold is deliberately loose (1.5x): baselines are captured
 on whatever machine the author had, and this gate is meant to catch
@@ -58,12 +62,15 @@ def main():
                     help="directory of freshly captured JSON files")
     ap.add_argument("--threshold", type=float, default=1.5,
                     help="fail when current > baseline * threshold (default 1.5)")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="report benchmarks without a baseline but do not fail "
+                         "on them (for iterating before capturing baselines)")
     args = ap.parse_args()
 
     baseline_files = {f for f in os.listdir(args.baseline) if f.endswith(".json")}
     current_files = {f for f in os.listdir(args.current) if f.endswith(".json")}
 
-    regressions, vanished, improved, checked = [], [], 0, 0
+    regressions, vanished, new, improved, checked = [], [], [], 0, 0
     for fname in sorted(baseline_files):
         if fname not in current_files:
             vanished.append((fname, "<entire file>"))
@@ -81,18 +88,26 @@ def main():
             elif ratio < 1.0 / args.threshold:
                 improved += 1
         for name in sorted(set(curr) - set(base)):
-            print(f"NEW       {fname}:{name} (no baseline; re-capture to track it)")
+            new.append((fname, name))
+    # A current file with no baseline at all is the other half of a rename:
+    # every benchmark in it is running unchecked.
+    for fname in sorted(current_files - baseline_files):
+        new.append((fname, "<entire file>"))
 
     for fname, name, base_ns, curr_ns, ratio in regressions:
         print(f"REGRESSED {fname}:{name}  {fmt_ns(base_ns)} -> {fmt_ns(curr_ns)}"
               f"  ({ratio:.2f}x, threshold {args.threshold}x)")
     for fname, name in vanished:
-        print(f"VANISHED  {fname}:{name}")
+        print(f"VANISHED  {fname}:{name} (delete or re-capture its baseline)")
+    for fname, name in new:
+        print(f"NEW       {fname}:{name} (no baseline; capture one to gate it)")
 
+    fail_new = new and not args.allow_new
     print(f"\n{checked} benchmarks checked against {len(baseline_files)} baseline files: "
           f"{len(regressions)} regressed, {improved} improved >{args.threshold}x, "
-          f"{len(vanished)} vanished")
-    return 1 if regressions or vanished else 0
+          f"{len(vanished)} vanished, {len(new)} new"
+          f"{' (allowed)' if new and args.allow_new else ''}")
+    return 1 if regressions or vanished or fail_new else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace od {
+namespace common {
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads <= 0 ? HardwareConcurrency() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(Batch& b) {
+  while (!b.failed.load(std::memory_order_relaxed)) {
+    const int64_t begin = b.next.fetch_add(b.grain, std::memory_order_relaxed);
+    if (begin >= b.n) return;
+    const int64_t end = std::min(b.n, begin + b.grain);
+    try {
+      for (int64_t i = begin; i < end; ++i) (*b.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!b.error) b.error = std::current_exception();
+      b.failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_id = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (batch_ != nullptr && batch_->id != last_id);
+    });
+    if (stop_) return;
+    Batch* b = batch_;
+    last_id = b->id;
+    ++b->active;
+    lock.unlock();
+    RunChunks(*b);
+    lock.lock();
+    if (--b->active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Batch b;
+  b.n = n;
+  b.fn = &fn;
+  // Aim for several chunks per thread so late stragglers rebalance, but
+  // chunks of at least one item so the cursor isn't contended per item.
+  b.grain = std::max<int64_t>(1, n / (int64_t{8} * num_threads_));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    b.id = ++next_batch_id_;
+    batch_ = &b;
+  }
+  work_cv_.notify_all();
+
+  RunChunks(b);  // the caller is a participant
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // The cursor is exhausted (or the batch failed); wait for workers still
+  // inside claimed chunks, then retract the batch so no worker re-enters.
+  done_cv_.wait(lock, [&] { return b.active == 0; });
+  batch_ = nullptr;
+  const std::exception_ptr error = b.error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace common
+}  // namespace od

@@ -1,0 +1,89 @@
+#ifndef OD_COMMON_THREAD_POOL_H_
+#define OD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace od {
+namespace common {
+
+/// A fixed-size pool of worker threads whose primitive is a chunked,
+/// self-balancing parallel-for. Shared by the prover's batch implication API
+/// (`Prover::ProveAll`) and the discovery lattice's level validation — both
+/// workloads are flat fans of independent, unevenly sized items, which is
+/// exactly what dynamic chunk claiming handles: every participant repeatedly
+/// grabs the next unclaimed chunk of indices from an atomic cursor, so a
+/// thread that drew cheap items circles back for more instead of idling
+/// behind one that drew an expensive model search or a large partition.
+///
+/// Semantics:
+///   * `ParallelFor(n, fn)` invokes `fn(i)` exactly once for every
+///     i ∈ [0, n) and returns when all invocations have finished. The
+///     calling thread participates, so a pool of size T uses T threads
+///     total (T − 1 workers + the caller) and `ThreadPool(1)` degenerates
+///     to a plain serial loop with no synchronization.
+///   * `fn` runs concurrently with itself; it must only touch shared state
+///     through its own index (or its own synchronization).
+///   * If an invocation throws, the first exception is rethrown on the
+///     calling thread after the loop drains; remaining unclaimed chunks are
+///     abandoned (claimed ones still finish).
+///   * `ParallelFor` is serialized internally: concurrent calls from
+///     different threads are safe but run one batch at a time. Nested calls
+///     from inside `fn` deadlock — don't.
+class ThreadPool {
+ public:
+  /// `num_threads` ≤ 0 selects HardwareConcurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  static int HardwareConcurrency();
+
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  /// State of one ParallelFor invocation, stack-owned by the caller.
+  struct Batch {
+    int64_t n = 0;
+    int64_t grain = 1;
+    const std::function<void(int64_t)>* fn = nullptr;
+    uint64_t id = 0;                 // distinguishes batches for the workers
+    std::atomic<int64_t> next{0};    // chunk-claim cursor
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;        // first exception, guarded by mu_
+    int active = 0;                  // workers inside the batch, guarded by mu_
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `b` until the cursor passes n (or an error
+  /// aborts the batch). Returns with no locks held.
+  void RunChunks(Batch& b);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // serializes ParallelFor callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is published
+  std::condition_variable done_cv_;  // caller: all workers left the batch
+  Batch* batch_ = nullptr;           // published batch, null when idle
+  uint64_t next_batch_id_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace common
+}  // namespace od
+
+#endif  // OD_COMMON_THREAD_POOL_H_

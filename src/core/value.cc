@@ -1,8 +1,19 @@
 #include "core/value.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace od {
+
+int CompareDoubles(double a, double b) {
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan && b_nan) return 0;
+    return a_nan ? 1 : -1;  // NaN sorts after every ordered value
+  }
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
 
 int Value::Compare(const Value& other) const {
   // Numeric types compare by value; a column mixing int64 and double still
@@ -16,9 +27,7 @@ int Value::Compare(const Value& other) const {
       const int64_t b = other.AsInt();
       return a < b ? -1 : (a > b ? 1 : 0);
     }
-    const double a = AsDouble();
-    const double b = other.AsDouble();
-    return a < b ? -1 : (a > b ? 1 : 0);
+    return CompareDoubles(AsDouble(), other.AsDouble());
   }
   if (a_num != b_num) return a_num ? -1 : 1;
   return AsString().compare(other.AsString()) < 0

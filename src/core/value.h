@@ -7,6 +7,16 @@
 
 namespace od {
 
+/// Three-way total-order comparison for doubles. IEEE `<` is only a
+/// partial order: NaN compares false against everything, so the naive
+/// `a < b ? -1 : (a > b ? 1 : 0)` calls NaN a tie with *every* value — a
+/// non-transitive "equality" that breaks strict-weak-ordering (UB in
+/// std::sort) and lets swap detection miss real violations. This helper
+/// makes the order total: all NaNs are equal to each other and sort after
+/// every non-NaN value; -0.0 stays equal to +0.0. It matches the discovery
+/// layer's grouping, which puts all NaN rows in one equivalence class.
+int CompareDoubles(double a, double b);
+
 /// A dynamically typed cell value from a totally ordered domain.
 ///
 /// The paper's theory is agnostic to the domain as long as it is totally

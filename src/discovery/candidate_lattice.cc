@@ -1,7 +1,12 @@
 #include "discovery/candidate_lattice.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace od {
 namespace discovery {
@@ -33,55 +38,146 @@ std::unordered_map<uint64_t, const Node*> IndexLevel(const Level& level) {
   return index;
 }
 
+/// What one node's split pass produced. Kept node-local so the nodes of a
+/// level can validate concurrently; the traversal merges outcomes back into
+/// the global result and the discovered-FD set in node order, making the
+/// parallel run bit-identical to the serial one.
+struct SplitOutcome {
+  std::vector<ConstancyOd> found;
+  int64_t checks = 0;
+};
+
+/// Likewise for the swap pass.
+struct SwapOutcome {
+  std::vector<CompatibilityOd> found;
+  int64_t checks = 0;
+  int64_t trivial_pruned = 0;
+};
+
+/// The split candidates of `node` still open when its level starts. The
+/// single source of truth for both the validation pass (ProcessSplits) and
+/// the parallel-mode partition prewarm (SplitQuerySets) — the lock-free
+/// validation relies on the prewarm covering exactly these questions, so
+/// the two must never be enumerated independently.
+AttributeSet OpenSplitCandidates(const Node& node) {
+  return node.attrs.Intersect(node.rhs_candidates);
+}
+
+/// The context of pair `p` at `node` if its compatibility still needs
+/// validating, nullopt if the FD-closure triviality prune settles it. As
+/// above: the one decision both ProcessSwaps and SwapQuerySets consult.
+std::optional<AttributeSet> OpenSwapContext(const Node& node,
+                                            const AttrPair& p,
+                                            const fd::FdSet& discovered) {
+  AttributeSet context = node.attrs;
+  context.Remove(p.first);
+  context.Remove(p.second);
+  const AttributeSet closure = discovered.Closure(context);
+  if (closure.Contains(p.first) || closure.Contains(p.second)) {
+    return std::nullopt;
+  }
+  return context;
+}
+
 /// Validates the still-open split candidates of `node` (TANE
-/// COMPUTE_DEPENDENCIES step), recording minimal constancy ODs.
-void ProcessSplits(Node& node, ValidationOracle& oracle,
-                   const AttributeSet& universe, fd::FdSet& discovered,
-                   LatticeResult& out) {
+/// COMPUTE_DEPENDENCIES step), recording minimal constancy ODs. Touches
+/// only the node and the outcome — safe to run concurrently across nodes.
+SplitOutcome ProcessSplits(Node& node, ValidationOracle& oracle,
+                           const AttributeSet& universe) {
+  SplitOutcome out;
   // A hit removes only the hit attribute and everything outside the node
   // from C⁺, so the remaining snapshot entries (all inside the node) stay
   // valid candidates as the loop mutates the set.
-  for (AttributeId a : node.attrs.Intersect(node.rhs_candidates).ToVector()) {
+  for (AttributeId a : OpenSplitCandidates(node).ToVector()) {
     AttributeSet context = node.attrs;
     context.Remove(a);
-    ++out.stats.split_checks;
+    ++out.checks;
     if (!oracle.ConstancyHolds(context, a)) continue;
-    out.constancies.push_back({context, a});
-    discovered.Add(context, AttributeSet({a}));
+    out.found.push_back({context, a});
     node.rhs_candidates.Remove(a);
     node.rhs_candidates =
         node.rhs_candidates.Minus(universe.Minus(node.attrs));
   }
+  return out;
 }
 
 /// Validates the open pair candidates of `node`, after the FD-closure
 /// triviality prune. Pairs that validate (or prove trivial) are removed so
-/// superset nodes treat them as settled.
-void ProcessSwaps(Node& node, ValidationOracle& oracle,
-                  const fd::FdSet& discovered, LatticeResult& out) {
+/// superset nodes treat them as settled. Reads `discovered` (fixed for the
+/// level once the split pass has merged) and touches only the node and the
+/// outcome — safe to run concurrently across nodes.
+SwapOutcome ProcessSwaps(Node& node, ValidationOracle& oracle,
+                         const fd::FdSet& discovered) {
+  SwapOutcome out;
   std::vector<AttrPair> still_open;
   still_open.reserve(node.pairs.size());
   for (const AttrPair& p : node.pairs) {
-    AttributeSet context = node.attrs;
-    context.Remove(p.first);
-    context.Remove(p.second);
-    const AttributeSet closure = discovered.Closure(context);
-    if (closure.Contains(p.first) || closure.Contains(p.second)) {
+    const std::optional<AttributeSet> context =
+        OpenSwapContext(node, p, discovered);
+    if (!context) {
       // One side is constant within every context class (this also covers
       // superkey contexts): the compatibility holds trivially and is
       // implied by the constancy cover, so it is neither validated nor
       // reported.
-      ++out.stats.trivial_swaps_pruned;
+      ++out.trivial_pruned;
       continue;
     }
-    ++out.stats.swap_checks;
-    if (oracle.CompatibilityHolds(context, p.first, p.second)) {
-      out.compatibilities.push_back({context, p.first, p.second});
+    ++out.checks;
+    if (oracle.CompatibilityHolds(*context, p.first, p.second)) {
+      out.found.push_back({*context, p.first, p.second});
     } else {
       still_open.push_back(p);
     }
   }
   node.pairs = std::move(still_open);
+  return out;
+}
+
+/// Runs `fn(i)` for every node index, on the pool when parallel validation
+/// is on, serially (in index order) otherwise.
+void ForEachNode(size_t n, common::ThreadPool* pool,
+                 const std::function<void(int64_t)>& fn) {
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(static_cast<int64_t>(n), fn);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) fn(i);
+  }
+}
+
+/// The attribute sets the split pass of `level` will consult: each node
+/// with open candidates (per OpenSplitCandidates, the same enumeration
+/// ProcessSplits walks) contributes itself (the refinement) and the
+/// context per candidate.
+std::vector<AttributeSet> SplitQuerySets(const Level& level) {
+  std::vector<AttributeSet> sets;
+  for (const Node& node : level) {
+    const AttributeSet cands = OpenSplitCandidates(node);
+    if (cands.IsEmpty()) continue;
+    sets.push_back(node.attrs);
+    for (AttributeId a : cands.ToVector()) {
+      AttributeSet context = node.attrs;
+      context.Remove(a);
+      sets.push_back(context);
+    }
+  }
+  return sets;
+}
+
+/// The contexts the swap pass of `level` will consult: pairs whose
+/// OpenSwapContext (the same decision ProcessSwaps makes, against the same
+/// post-split `discovered`) says validation is still needed.
+std::vector<AttributeSet> SwapQuerySets(const Level& level,
+                                        const fd::FdSet& discovered) {
+  std::vector<AttributeSet> sets;
+  for (const Node& node : level) {
+    if (node.attrs.Size() < 2) continue;
+    for (const AttrPair& p : node.pairs) {
+      const std::optional<AttributeSet> context =
+          OpenSwapContext(node, p, discovered);
+      if (context) sets.push_back(*context);
+    }
+  }
+  return sets;
 }
 
 /// Builds level l + 1 from level l: every superset-by-one of an alive node,
@@ -91,13 +187,13 @@ void ProcessSwaps(Node& node, ValidationOracle& oracle,
 Level GenerateNextLevel(const Level& prev, const AttributeSet& universe,
                         LatticeStats& stats) {
   const auto index = IndexLevel(prev);
-  std::unordered_map<uint64_t, bool> seen;
+  std::unordered_set<uint64_t> seen;
   Level next;
   for (const Node& parent : prev) {
     for (AttributeId add : universe.Minus(parent.attrs).ToVector()) {
       AttributeSet attrs = parent.attrs;
       attrs.Add(add);
-      if (!seen.emplace(attrs.bits(), true).second) continue;
+      if (!seen.insert(attrs.bits()).second) continue;
 
       Node child;
       child.attrs = attrs;
@@ -152,6 +248,9 @@ LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
   const int max_level = opts.max_level < 0
                             ? num_attributes
                             : std::min(opts.max_level, num_attributes);
+  common::ThreadPool* pool =
+      (opts.pool != nullptr && opts.pool->num_threads() > 1) ? opts.pool
+                                                             : nullptr;
 
   // The discovered constancy ODs, as FDs: drives the implied-candidate and
   // key/constant-context pruning via attribute-set closure. A pair's
@@ -168,16 +267,46 @@ LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
   for (int l = 1; l <= max_level && !level.empty(); ++l) {
     level = GenerateNextLevel(level, universe, out.stats);
     out.stats.levels = l;
-    for (Node& node : level) {
-      ++out.stats.nodes_visited;
-      ProcessSplits(node, oracle, universe, discovered, out);
+    out.stats.nodes_visited += static_cast<int64_t>(level.size());
+
+    // Split pass. Nodes only touch themselves and their outcome, so they
+    // validate concurrently; in parallel mode the oracle first prepares the
+    // level's partitions behind a barrier (PrepareLevel), making its
+    // answers read-only afterwards.
+    if (pool != nullptr) oracle.PrepareLevel(SplitQuerySets(level), *pool);
+    std::vector<SplitOutcome> splits(level.size());
+    ForEachNode(level.size(), pool, [&](int64_t i) {
+      splits[i] = ProcessSplits(level[i], oracle, universe);
+    });
+    for (SplitOutcome& s : splits) {  // merge in node order
+      out.stats.split_checks += s.checks;
+      for (ConstancyOd& c : s.found) {
+        discovered.Add(c.context, AttributeSet({c.attr}));
+        out.constancies.push_back(std::move(c));
+      }
     }
+
     // Swaps after splits: a level-l pair context has l − 2 attributes, and
     // the closure prune wants every FD with an LHS that small — all found
-    // by the end of this level's split pass.
-    for (Node& node : level) {
-      if (node.attrs.Size() >= 2) ProcessSwaps(node, oracle, discovered, out);
+    // by the end of this level's split pass. `discovered` is final for the
+    // level from here on, so the swap pass reads it concurrently.
+    if (pool != nullptr) {
+      oracle.PrepareLevel(SwapQuerySets(level, discovered), *pool);
     }
+    std::vector<SwapOutcome> swaps(level.size());
+    ForEachNode(level.size(), pool, [&](int64_t i) {
+      if (level[i].attrs.Size() >= 2) {
+        swaps[i] = ProcessSwaps(level[i], oracle, discovered);
+      }
+    });
+    for (SwapOutcome& s : swaps) {  // merge in node order
+      out.stats.swap_checks += s.checks;
+      out.stats.trivial_swaps_pruned += s.trivial_pruned;
+      for (CompatibilityOd& c : s.found) {
+        out.compatibilities.push_back(std::move(c));
+      }
+    }
+
     oracle.OnLevelFinished(l);
   }
   return out;

@@ -9,6 +9,11 @@
 #include "fd/fd_set.h"
 
 namespace od {
+
+namespace common {
+class ThreadPool;
+}  // namespace common
+
 namespace discovery {
 
 /// A validated constancy OD in canonical set-based form, context: [] ↦ attr
@@ -46,6 +51,20 @@ class ValidationOracle {
   virtual bool CompatibilityHolds(const AttributeSet& context, AttributeId a,
                                   AttributeId b) = 0;
 
+  /// Parallel-mode hook, invoked before a batch of validations runs on the
+  /// pool: `sets` lists every attribute set (contexts and refinements) the
+  /// coming ConstancyHolds / CompatibilityHolds calls will consult, so the
+  /// oracle can materialize shared state up front and answer the batch from
+  /// read-only data. After this returns, the validation methods must be
+  /// safe to call concurrently for the announced sets. Never called in
+  /// serial traversals; the default ignores it (fine for oracles that are
+  /// stateless or already thread-safe).
+  virtual void PrepareLevel(const std::vector<AttributeSet>& sets,
+                            common::ThreadPool& pool) {
+    (void)sets;
+    (void)pool;
+  }
+
   /// Called after every lattice level completes; the partition-backed
   /// oracle uses it to evict partitions the traversal can no longer need.
   virtual void OnLevelFinished(int level) { (void)level; }
@@ -56,6 +75,15 @@ struct LatticeOptions {
   /// number of attributes. Capping it bounds work but limits the discovered
   /// cover to ODs whose canonical context fits the cap.
   int max_level = -1;
+
+  /// When set (and sized > 1), the split and swap validations of each level
+  /// fan out across this pool: the level's candidates are independent, so
+  /// nodes validate concurrently after a PrepareLevel barrier, and per-node
+  /// results merge back in node order — the traversal, its statistics, and
+  /// the emitted ODs are bit-identical to the serial run. The oracle must
+  /// honor the PrepareLevel contract above. Null (the default) keeps the
+  /// fully serial path.
+  common::ThreadPool* pool = nullptr;
 };
 
 struct LatticeStats {

@@ -1,8 +1,10 @@
 #include "discovery/discovery.h"
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "discovery/stripped_partition.h"
 #include "discovery/validators.h"
 
@@ -31,6 +33,14 @@ class PartitionOracle : public ValidationOracle {
     return SwapCandidateHolds(*table_, cache_.Get(context),
                               static_cast<engine::ColumnId>(a),
                               static_cast<engine::ColumnId>(b));
+  }
+
+  void PrepareLevel(const std::vector<AttributeSet>& sets,
+                    common::ThreadPool& pool) override {
+    // After the prewarm, every Get the announced validations perform is a
+    // pure lookup, so ConstancyHolds / CompatibilityHolds run lock-free in
+    // parallel.
+    cache_.Prewarm(sets, &pool);
   }
 
   void OnLevelFinished(int level) override {
@@ -82,6 +92,11 @@ DiscoveryResult DiscoverODs(const engine::Table& t,
   PartitionOracle oracle(t);
   LatticeOptions lattice_opts;
   lattice_opts.max_level = opts.max_level;
+  std::unique_ptr<common::ThreadPool> pool;
+  if (opts.num_threads != 1) {
+    pool = std::make_unique<common::ThreadPool>(opts.num_threads);
+    lattice_opts.pool = pool.get();
+  }
   LatticeResult mined = TraverseLattice(t.num_columns(), oracle, lattice_opts);
 
   out.constancies = std::move(mined.constancies);

@@ -36,6 +36,14 @@ struct DiscoveryOptions {
   /// contexts to L − 2 attributes (and limits the completeness guarantee
   /// accordingly).
   int max_level = -1;
+
+  /// Threads for level validation: each lattice level's partitions are
+  /// built up front, then its split/swap candidates validate concurrently
+  /// on a pool of this size. Results (ODs, statistics, partition counts)
+  /// are bit-identical to the serial run — candidates within a level are
+  /// independent and outcomes merge in node order. 1 (the default) keeps
+  /// the serial path; 0 means hardware concurrency.
+  int num_threads = 1;
 };
 
 struct DiscoveryResult {

@@ -5,7 +5,11 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <stdexcept>
 #include <string>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace od {
 namespace discovery {
@@ -55,7 +59,8 @@ std::vector<std::vector<int64_t>> GroupRows(int64_t num_rows, Getter get) {
 /// engine's Column::Compare on the IEEE edge cases — NaN != NaN would put
 /// every NaN row in its own (stripped) singleton and -0.0/+0.0 hash
 /// unreliably — so group by the bit pattern with both normalized: all NaNs
-/// to one key, -0.0 to +0.0.
+/// to one key, -0.0 to +0.0. This matches CompareDoubles (core/value.h),
+/// which ranks all NaNs equal and after every ordered value.
 uint64_t DoubleKey(double v) {
   if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
   if (v == 0.0) v = 0.0;
@@ -131,11 +136,8 @@ const StrippedPartition& PartitionCache::Get(const AttributeSet& x) {
   if (it != cache_.end()) return it->second;
 
   StrippedPartition part;
-  if (x.IsEmpty()) {
-    part = StrippedPartition::Universe(table_->num_rows());
-  } else if (x.Size() == 1) {
-    part = StrippedPartition::ForColumn(
-        *table_, static_cast<engine::ColumnId>(x.ToVector().front()));
+  if (x.Size() <= 1) {
+    part = ComputeFromCached(x);
   } else {
     // Split off the lowest attribute: π*(X) = π*(X \ {a}) · π*({a}). The
     // level-wise traversal normally has the (l−1)-subset already cached, so
@@ -150,6 +152,88 @@ const StrippedPartition& PartitionCache::Get(const AttributeSet& x) {
   auto [pos, inserted] = cache_.emplace(x.bits(), std::move(part));
   assert(inserted);
   return pos->second;
+}
+
+StrippedPartition PartitionCache::ComputeFromCached(
+    const AttributeSet& x) const {
+  if (x.IsEmpty()) return StrippedPartition::Universe(table_->num_rows());
+  if (x.Size() == 1) {
+    return StrippedPartition::ForColumn(
+        *table_, static_cast<engine::ColumnId>(x.ToVector().front()));
+  }
+  const AttributeId a = x.ToVector().front();
+  AttributeSet rest = x;
+  rest.Remove(a);
+  const auto base = cache_.find(AttributeSet({a}).bits());
+  const auto rest_it = cache_.find(rest.bits());
+  if (base == cache_.end() || rest_it == cache_.end()) {
+    // A miss here means Prewarm's dependency tiers (or a caller's set list)
+    // broke the "strict subsets already cached" contract. Fail loudly: in
+    // parallel mode the fallback would be a concurrent cache mutation.
+    throw std::logic_error(
+        "PartitionCache::ComputeFromCached: subset partition missing for " +
+        od::ToString(x));
+  }
+  return rest_it->second.Product(base->second);
+}
+
+void PartitionCache::Prewarm(const std::vector<AttributeSet>& sets,
+                             common::ThreadPool* pool) {
+  // Every requested set plus the chain ancestors Get() would recurse
+  // through (repeatedly dropping the lowest attribute, plus that
+  // attribute's singleton base), deduped against the cache and each other.
+  std::unordered_set<uint64_t> seen;
+  std::vector<AttributeSet> todo;
+  const auto need = [&](AttributeSet x) {
+    while (true) {
+      if (cache_.count(x.bits()) != 0 || !seen.insert(x.bits()).second) {
+        return;
+      }
+      todo.push_back(x);
+      if (x.Size() <= 1) return;
+      const AttributeId a = x.ToVector().front();
+      const AttributeSet single({a});
+      if (cache_.count(single.bits()) == 0 &&
+          seen.insert(single.bits()).second) {
+        todo.push_back(single);
+      }
+      x.Remove(a);
+    }
+  };
+  for (const AttributeSet& s : sets) need(s);
+  if (todo.empty()) return;
+
+  // Ascending-size tiers: by the chain construction above, every set's
+  // product inputs are of strictly smaller size, so when a tier starts they
+  // are all cached already and tier members build independently.
+  std::sort(todo.begin(), todo.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              if (a.Size() != b.Size()) return a.Size() < b.Size();
+              return a.bits() < b.bits();
+            });
+  size_t tier_begin = 0;
+  while (tier_begin < todo.size()) {
+    size_t tier_end = tier_begin;
+    while (tier_end < todo.size() &&
+           todo[tier_end].Size() == todo[tier_begin].Size()) {
+      ++tier_end;
+    }
+    const int64_t tier_size = static_cast<int64_t>(tier_end - tier_begin);
+    std::vector<StrippedPartition> built(tier_size);
+    const auto build_one = [&](int64_t i) {
+      built[i] = ComputeFromCached(todo[tier_begin + i]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(tier_size, build_one);
+    } else {
+      for (int64_t i = 0; i < tier_size; ++i) build_one(i);
+    }
+    for (int64_t i = 0; i < tier_size; ++i) {
+      cache_.emplace(todo[tier_begin + i].bits(), std::move(built[i]));
+      ++computed_;
+    }
+    tier_begin = tier_end;
+  }
 }
 
 void PartitionCache::EvictLevel(int level) {

@@ -9,6 +9,11 @@
 #include "engine/table.h"
 
 namespace od {
+
+namespace common {
+class ThreadPool;
+}  // namespace common
+
 namespace discovery {
 
 /// A stripped partition π*(X) over the rows of a table: the equivalence
@@ -65,6 +70,13 @@ class StrippedPartition {
 /// and its parents at |X| = l − 1; partitions for smaller sets can be
 /// evicted as the traversal moves up (`EvictLevel`), keeping the working
 /// set to two levels plus the single-column bases.
+///
+/// Thread safety: `Get` mutates the cache on a miss, so concurrent calls
+/// are only safe after `Prewarm` has materialized every set the callers
+/// will ask for — then every Get is a pure hash lookup. This is the
+/// read-concurrent mode the parallel lattice validation uses: partitions
+/// for a level are built up front (itself parallelized, in dependency
+/// tiers), and the validators read them lock-free.
 class PartitionCache {
  public:
   explicit PartitionCache(const engine::Table& t) : table_(&t) {}
@@ -72,6 +84,16 @@ class PartitionCache {
   /// Returns π*(x), computing and caching it (and any missing ancestors
   /// along the lowest-attribute chain) on demand.
   const StrippedPartition& Get(const AttributeSet& x);
+
+  /// Materializes π*(x) for every set in `sets` (plus the chain ancestors
+  /// `Get` would recurse through), so subsequent Gets for them are
+  /// read-only and thread-safe. Partitions are built in ascending-size
+  /// tiers; within a tier every build only reads strictly smaller cached
+  /// partitions, so tiers parallelize over `pool` (serial when null).
+  /// Computes exactly the partitions a serial Get sequence would, in the
+  /// same count (`computed()` stays comparable).
+  void Prewarm(const std::vector<AttributeSet>& sets,
+               common::ThreadPool* pool);
 
   /// Drops every cached partition of exactly `level` attributes. Levels 0
   /// and 1 are always retained (they seed every product chain).
@@ -82,6 +104,11 @@ class PartitionCache {
   int64_t size() const { return static_cast<int64_t>(cache_.size()); }
 
  private:
+  /// Builds π*(x) from already-cached strict subsets (the product step of
+  /// `Get`, without the recursion or the insertion). Prewarm's parallel
+  /// tier builds go through this const path.
+  StrippedPartition ComputeFromCached(const AttributeSet& x) const;
+
   const engine::Table* table_;
   std::unordered_map<uint64_t, StrippedPartition> cache_;
   int64_t computed_ = 0;

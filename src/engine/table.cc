@@ -59,9 +59,10 @@ int Column::Compare(int64_t row, const Column& other, int64_t row2) const {
     const int c = strings_[row].compare(other.strings_[row2]);
     return c < 0 ? -1 : (c > 0 ? 1 : 0);
   }
-  const double a = Numeric(row);
-  const double b = other.Numeric(row2);
-  return a < b ? -1 : (a > b ? 1 : 0);
+  // CompareDoubles, not raw `<`: NaN must order totally (equal to other
+  // NaNs, after everything else) or sort-based consumers — engine sorts,
+  // discovery's swap scan — get a non-strict-weak comparator.
+  return CompareDoubles(Numeric(row), other.Numeric(row2));
 }
 
 void Column::Reserve(int64_t n) {

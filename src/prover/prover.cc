@@ -1,5 +1,9 @@
 #include "prover/prover.h"
 
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
 namespace od {
 namespace prover {
 
@@ -8,19 +12,64 @@ Prover::Prover(DependencySet m)
       fds_(fd::FdProjection(m_)),
       universe_(m_.Attributes()) {}
 
+Prover::CacheShard& Prover::ShardFor(const OrderDependency& dep) const {
+  // Fold the hash's upper half into the shard index: the shard's
+  // unordered_map buckets by the same hash value, and on power-of-two
+  // bucket implementations a low-bits-only shard index would leave every
+  // key in a shard agreeing on those low bits — clustering
+  // 1/kCacheShards of the buckets. The half-width shift (not a literal
+  // 32) stays defined if size_t is ever 32 bits.
+  const size_t h = OrderDependencyHash{}(dep);
+  constexpr unsigned kHalf = sizeof(size_t) * 4;
+  return cache_[(h ^ (h >> kHalf)) % kCacheShards];
+}
+
+std::optional<bool> Prover::CacheLookup(CacheShard& shard,
+                                        const OrderDependency& dep) const {
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(dep);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void Prover::CacheStore(CacheShard& shard, const OrderDependency& dep,
+                        bool implied) const {
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.map.emplace(dep, implied);
+}
+
 bool Prover::Implies(const OrderDependency& dep) const {
-  auto it = cache_.find(dep);
-  if (it != cache_.end()) return it->second;
-  ++search_count_;
+  CacheShard& shard = ShardFor(dep);
+  if (auto cached = CacheLookup(shard, dep)) return *cached;
+  // Search outside the lock: a racing duplicate re-derives the same answer.
+  search_count_.fetch_add(1, std::memory_order_relaxed);
   const bool implied =
       !FindFalsifyingModel(m_, dep, universe_).has_value();
-  cache_.emplace(dep, implied);
+  CacheStore(shard, dep, implied);
   return implied;
 }
 
 bool Prover::Implies(const AttributeList& lhs,
                      const AttributeList& rhs) const {
   return Implies(OrderDependency(lhs, rhs));
+}
+
+std::vector<bool> Prover::ProveAll(const std::vector<OrderDependency>& deps,
+                                   common::ThreadPool* pool) const {
+  // vector<bool> packs bits, so concurrent writes to distinct elements
+  // race; collect into bytes and convert once.
+  std::vector<uint8_t> results(deps.size(), 0);
+  const auto prove_one = [&](int64_t i) {
+    results[static_cast<size_t>(i)] = Implies(deps[static_cast<size_t>(i)]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(deps.size()), prove_one);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(deps.size()); ++i) {
+      prove_one(i);
+    }
+  }
+  return std::vector<bool>(results.begin(), results.end());
 }
 
 bool Prover::OrderEquivalent(const AttributeList& x,
@@ -39,12 +88,23 @@ bool Prover::ImpliesFd(const AttributeSet& lhs,
 }
 
 bool Prover::IsConstant(AttributeId a) const {
-  return Implies(OrderDependency(AttributeList::EmptyList(),
-                                 AttributeList({a})));
+  // No constraints: σ[a] = +1 on its own is a model, so nothing is
+  // constant — answer without a search.
+  if (m_.IsEmpty()) return false;
+  // [] ↦ [a] is FD-shaped, so ℱ ⊨ ∅ → a already decides the positive case
+  // in polynomial time (Theorem 13/16). Seed the memo so a later
+  // Implies([] ↦ [a]) agrees without searching either.
+  const OrderDependency dep(AttributeList::EmptyList(), AttributeList({a}));
+  if (fds_.Implies(AttributeSet::Empty(), AttributeSet({a}))) {
+    CacheStore(ShardFor(dep), dep, true);
+    return true;
+  }
+  return Implies(dep);
 }
 
 AttributeSet Prover::Constants() const {
   AttributeSet out;
+  if (m_.IsEmpty()) return out;
   for (AttributeId a : universe_.ToVector()) {
     if (IsConstant(a)) out.Add(a);
   }
@@ -53,7 +113,16 @@ AttributeSet Prover::Constants() const {
 
 std::optional<Relation> Prover::Counterexample(
     const OrderDependency& dep) const {
+  CacheShard& shard = ShardFor(dep);
+  if (auto cached = CacheLookup(shard, dep)) {
+    // Implied: no falsifying model exists — skip the search entirely. Not
+    // implied: the memo holds only the boolean, so fall through and
+    // re-derive the model (counted, like any executed search).
+    if (*cached) return std::nullopt;
+  }
+  search_count_.fetch_add(1, std::memory_order_relaxed);
   auto model = FindFalsifyingModel(m_, dep, universe_);
+  CacheStore(shard, dep, !model.has_value());
   if (!model) return std::nullopt;
   return model->ToRelation();
 }

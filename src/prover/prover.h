@@ -1,9 +1,13 @@
 #ifndef OD_PROVER_PROVER_H_
 #define OD_PROVER_PROVER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/dependency.h"
 #include "core/relation.h"
@@ -11,6 +15,11 @@
 #include "prover/two_row_model.h"
 
 namespace od {
+
+namespace common {
+class ThreadPool;
+}  // namespace common
+
 namespace prover {
 
 /// The "theorem prover" the paper lists as its first future-work item:
@@ -22,13 +31,16 @@ namespace prover {
 /// the FD projection (justified by Theorem 16); the general question falls
 /// back to the exponential-but-pruned model search, with memoization.
 ///
-/// Thread safety: NOT thread-safe, including the `const` query methods —
-/// they mutate the memo cache (an unsynchronized std::unordered_map) and
-/// the search counter. Callers wanting concurrent implication queries must
-/// either give each thread its own Prover instance (construction from the
-/// same DependencySet is cheap relative to a model search) or serialize
-/// access externally. The planned parallel prover will replace the memo
-/// with a concurrent structure; until then this contract stands.
+/// Thread safety: all query methods are safe to call concurrently on one
+/// Prover instance. The memo is an unordered_map striped across
+/// shared-mutex shards keyed by OrderDependencyHash — lookups take a shard
+/// in shared mode, insertions in exclusive mode — and `search_count_` is
+/// atomic. Model searches run outside any lock, so two threads racing on
+/// the same fresh query may both execute the search; they compute the same
+/// answer (the procedure is deterministic) and `search_count()` then counts
+/// both, i.e. it reports searches *executed*, which under concurrent
+/// duplicates can exceed the number of distinct queries. Construction and
+/// destruction are not concurrent-safe with queries, as usual.
 class Prover {
  public:
   explicit Prover(DependencySet m);
@@ -40,6 +52,12 @@ class Prover {
   bool Implies(const OrderDependency& dep) const;
   bool Implies(const AttributeList& lhs, const AttributeList& rhs) const;
 
+  /// Batch form of Implies: answers every query, fanning the model searches
+  /// across `pool` when given (serial fallback otherwise). Results are
+  /// positionally aligned with `deps` and bit-identical to asking serially.
+  std::vector<bool> ProveAll(const std::vector<OrderDependency>& deps,
+                             common::ThreadPool* pool = nullptr) const;
+
   /// ℳ ⊨ X ↔ Y.
   bool OrderEquivalent(const AttributeList& x, const AttributeList& y) const;
 
@@ -50,25 +68,49 @@ class Prover {
   /// decided in polynomial time via attribute-set closure.
   bool ImpliesFd(const AttributeSet& lhs, const AttributeSet& rhs) const;
 
-  /// ℳ ⊨ [] ↦ [a] (Definition 18: `a` is a constant).
+  /// ℳ ⊨ [] ↦ [a] (Definition 18: `a` is a constant). Short-circuits
+  /// through the FD projection — [] ↦ [a] is FD-shaped, so ℱ ⊨ ∅ → a
+  /// already proves it without a model search — and an empty ℳ (nothing is
+  /// constant under no constraints) before falling back to the search.
   bool IsConstant(AttributeId a) const;
   /// All constant attributes among those mentioned in ℳ.
   AttributeSet Constants() const;
 
   /// A two-row relation satisfying ℳ and falsifying `dep`, if ℳ ⊭ dep.
+  /// Shares the memo with Implies: a cached "implied" answers nullopt with
+  /// no search; otherwise the (counted) search runs and re-derives the
+  /// model, and its boolean outcome is cached for later Implies calls.
   std::optional<Relation> Counterexample(const OrderDependency& dep) const;
 
   /// Number of model searches actually executed (cache misses); exposed for
-  /// benchmarking.
-  int64_t search_count() const { return search_count_; }
+  /// benchmarking. Under concurrent duplicate queries this may exceed the
+  /// number of distinct queries asked (see class comment).
+  int64_t search_count() const {
+    return search_count_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// The memo stripe for `dep` plus its hash, so Implies and Counterexample
+  /// agree on placement.
+  struct CacheShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<OrderDependency, bool, OrderDependencyHash> map;
+  };
+  static constexpr size_t kCacheShards = 16;
+
+  CacheShard& ShardFor(const OrderDependency& dep) const;
+  /// Cached answer for `dep`, if present (shared lock).
+  std::optional<bool> CacheLookup(CacheShard& shard,
+                                  const OrderDependency& dep) const;
+  /// Records an answer (exclusive lock); first writer wins on races.
+  void CacheStore(CacheShard& shard, const OrderDependency& dep,
+                  bool implied) const;
+
   DependencySet m_;
   fd::FdSet fds_;
   AttributeSet universe_;
-  mutable std::unordered_map<OrderDependency, bool, OrderDependencyHash>
-      cache_;
-  mutable int64_t search_count_ = 0;
+  mutable std::array<CacheShard, kCacheShards> cache_;
+  mutable std::atomic<int64_t> search_count_{0};
 };
 
 }  // namespace prover

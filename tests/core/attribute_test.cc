@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/dependency.h"
 #include "core/value.h"
 
@@ -81,6 +83,22 @@ TEST(ValueTest, OrderingWithinAndAcrossTypes) {
   EXPECT_LT(Value("first"), Value("fourth"));
   EXPECT_LT(Value("fourth"), Value("second"));
   EXPECT_LT(Value("second"), Value("third"));
+}
+
+TEST(ValueTest, NanOrdersTotally) {
+  // IEEE `<` makes NaN incomparable with everything; CompareDoubles makes
+  // the order total — all NaNs equal, after every ordered value — so sorts
+  // over NaN-bearing columns stay strict-weak and swap detection can't
+  // miss violations through phantom ties.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(CompareDoubles(nan, nan), 0);
+  EXPECT_EQ(CompareDoubles(nan, 1.0), 1);
+  EXPECT_EQ(CompareDoubles(1.0, nan), -1);
+  EXPECT_EQ(CompareDoubles(nan, std::numeric_limits<double>::infinity()), 1);
+  EXPECT_EQ(CompareDoubles(-0.0, 0.0), 0);
+  EXPECT_EQ(Value(nan), Value(nan));
+  EXPECT_LT(Value(1e300), Value(nan));
+  EXPECT_GT(Value(nan), Value(int64_t{5}));
 }
 
 TEST(DependencySetTest, BuildersAndProjection) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "discovery/candidate_lattice.h"
 
 namespace od {
@@ -160,6 +161,75 @@ TEST(CandidateLatticeTest, MaxLevelCapsTraversal) {
   // Pairs only at context ∅; no level-3 contexts probed.
   EXPECT_EQ(oracle.compat_questions(), 6);
   EXPECT_FALSE(oracle.AskedCompatibility(AttributeSet({2}), 0, 1));
+}
+
+/// A deterministic, thread-safe oracle: answers are pure functions of the
+/// question (a hash-derived pattern), so serial and parallel traversals can
+/// be compared bit for bit without any shared mutable state.
+class PureHashOracle : public ValidationOracle {
+ public:
+  bool ConstancyHolds(const AttributeSet& ctx, AttributeId a) override {
+    return Mix(ctx.bits(), a, 0x9e3779b97f4a7c15ull) % 7 == 0;
+  }
+  bool CompatibilityHolds(const AttributeSet& ctx, AttributeId a,
+                          AttributeId b) override {
+    return Mix(ctx.bits(), a * 64 + b, 0xbf58476d1ce4e5b9ull) % 3 == 0;
+  }
+
+ private:
+  static uint64_t Mix(uint64_t bits, uint64_t salt, uint64_t mult) {
+    uint64_t x = (bits + 1) * mult + salt;
+    x ^= x >> 31;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 29;
+    return x;
+  }
+};
+
+TEST(CandidateLatticeTest, ParallelTraversalIsBitIdenticalToSerial) {
+  PureHashOracle serial_oracle;
+  LatticeResult serial = TraverseLattice(6, serial_oracle);
+
+  common::ThreadPool pool(4);
+  PureHashOracle parallel_oracle;
+  LatticeOptions opts;
+  opts.pool = &pool;
+  LatticeResult parallel = TraverseLattice(6, parallel_oracle, opts);
+
+  ASSERT_EQ(serial.constancies.size(), parallel.constancies.size());
+  for (size_t i = 0; i < serial.constancies.size(); ++i) {
+    EXPECT_EQ(serial.constancies[i].context, parallel.constancies[i].context);
+    EXPECT_EQ(serial.constancies[i].attr, parallel.constancies[i].attr);
+  }
+  ASSERT_EQ(serial.compatibilities.size(), parallel.compatibilities.size());
+  for (size_t i = 0; i < serial.compatibilities.size(); ++i) {
+    EXPECT_EQ(serial.compatibilities[i].context,
+              parallel.compatibilities[i].context);
+    EXPECT_EQ(serial.compatibilities[i].a, parallel.compatibilities[i].a);
+    EXPECT_EQ(serial.compatibilities[i].b, parallel.compatibilities[i].b);
+  }
+  EXPECT_EQ(serial.stats.nodes_visited, parallel.stats.nodes_visited);
+  EXPECT_EQ(serial.stats.nodes_dropped, parallel.stats.nodes_dropped);
+  EXPECT_EQ(serial.stats.split_checks, parallel.stats.split_checks);
+  EXPECT_EQ(serial.stats.swap_checks, parallel.stats.swap_checks);
+  EXPECT_EQ(serial.stats.trivial_swaps_pruned,
+            parallel.stats.trivial_swaps_pruned);
+  EXPECT_EQ(serial.stats.levels, parallel.stats.levels);
+}
+
+TEST(CandidateLatticeTest, SingleThreadPoolTakesSerialPath) {
+  // A pool of one thread must not change anything either (the traversal
+  // falls back to the serial path, PrepareLevel is never needed).
+  PureHashOracle a, b;
+  common::ThreadPool pool(1);
+  LatticeOptions opts;
+  opts.pool = &pool;
+  LatticeResult with_pool = TraverseLattice(4, a, opts);
+  LatticeResult without = TraverseLattice(4, b);
+  EXPECT_EQ(with_pool.constancies.size(), without.constancies.size());
+  EXPECT_EQ(with_pool.compatibilities.size(), without.compatibilities.size());
+  EXPECT_EQ(with_pool.stats.split_checks, without.stats.split_checks);
+  EXPECT_EQ(with_pool.stats.swap_checks, without.stats.swap_checks);
 }
 
 TEST(CandidateLatticeTest, NodesDroppedWhenAllCandidatesSettle) {

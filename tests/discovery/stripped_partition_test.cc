@@ -6,6 +6,7 @@
 
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "discovery/stripped_partition.h"
 #include "engine/table.h"
 #include "test_table_util.h"
@@ -55,10 +56,10 @@ TEST(StrippedPartitionTest, ForColumnStringsAndDoubles) {
 }
 
 TEST(StrippedPartitionTest, DoubleEdgeCasesGroupConsistently) {
-  // NaN != NaN under hash-map equality, but the engine's comparators treat
-  // the IEEE edge cases as ties; grouping must agree or discovery would
-  // claim FDs the validators refute. All NaNs form one class, and -0.0
-  // joins +0.0.
+  // NaN != NaN under hash-map equality, but the engine's comparator
+  // (CompareDoubles) ranks all NaNs equal; grouping must agree or
+  // discovery would claim FDs the validators refute. All NaNs form one
+  // class, and -0.0 joins +0.0.
   const double nan = std::numeric_limits<double>::quiet_NaN();
   engine::Schema s;
   s.Add("d", engine::DataType::kDouble);
@@ -146,6 +147,45 @@ TEST(PartitionCacheTest, EvictLevelDropsOnlyThatLevel) {
   const int64_t computed_before = cache.computed();
   cache.Get(AttributeSet({0, 1}));
   EXPECT_EQ(cache.computed(), computed_before + 1);
+}
+
+TEST(PartitionCacheTest, PrewarmMatchesOnDemandComputation) {
+  engine::Table t = IntTable({"a", "b", "c"}, {{1, 10, 5},
+                                               {1, 10, 5},
+                                               {1, 20, 5},
+                                               {2, 20, 6},
+                                               {2, 20, 6},
+                                               {2, 10, 6}});
+  // On-demand reference.
+  PartitionCache lazy(t);
+  const std::vector<AttributeSet> queries = {
+      AttributeSet({0, 1}), AttributeSet({0, 2}), AttributeSet({0, 1, 2}),
+      AttributeSet({1})};
+  std::vector<int64_t> lazy_errors;
+  for (const auto& q : queries) lazy_errors.push_back(lazy.Get(q).Error());
+
+  // Prewarmed (parallel) cache: same partitions, same computed() count, and
+  // the Gets afterwards are pure lookups (computed() stays put).
+  common::ThreadPool pool(4);
+  PartitionCache warmed(t);
+  warmed.Prewarm(queries, &pool);
+  EXPECT_EQ(warmed.computed(), lazy.computed());
+  const int64_t after_prewarm = warmed.computed();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(warmed.Get(queries[i]).Error(), lazy_errors[i]);
+    EXPECT_EQ(warmed.Get(queries[i]).num_classes(),
+              lazy.Get(queries[i]).num_classes());
+  }
+  EXPECT_EQ(warmed.computed(), after_prewarm);
+
+  // Re-prewarming the same sets is a no-op.
+  warmed.Prewarm(queries, &pool);
+  EXPECT_EQ(warmed.computed(), after_prewarm);
+
+  // Serial prewarm (no pool) behaves identically.
+  PartitionCache serial(t);
+  serial.Prewarm(queries, nullptr);
+  EXPECT_EQ(serial.computed(), after_prewarm);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "discovery/stripped_partition.h"
 #include "discovery/validators.h"
 #include "engine/table.h"
@@ -101,6 +103,52 @@ TEST(SwapValidatorTest, KeyContextHasNothingToCheck) {
   const StrippedPartition& ctx = cache.Get(AttributeSet({0}));
   EXPECT_TRUE(ctx.IsKey());
   EXPECT_TRUE(SwapCandidateHolds(t, ctx, 1, 2));
+}
+
+TEST(SwapValidatorTest, NanRowsDoNotMaskSwaps) {
+  // Regression: with IEEE `<` semantics, NaN "ties" with every value, so
+  // the per-class sort comparator lost strict-weak ordering and the
+  // swap between (a=1, b=99) and (a=3, b=97) went undetected in one scan
+  // direction. Under the total order (CompareDoubles) NaNs group after the
+  // ordered values and the swap is found symmetrically.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  engine::Schema s;
+  s.Add("a", engine::DataType::kDouble);
+  s.Add("b", engine::DataType::kDouble);
+  engine::Table t(s);
+  const double a_vals[] = {nan, 1.0, nan, 3.0, nan, 5.0};
+  const double b_vals[] = {100.0, 99.0, 98.0, 97.0, 96.0, 95.0};
+  for (size_t i = 0; i < 6; ++i) {
+    t.AppendRow({Value(a_vals[i]), Value(b_vals[i])});
+  }
+  const StrippedPartition ctx = StrippedPartition::Universe(t.num_rows());
+  auto fwd = FindSwap(t, ctx, 0, 1);
+  auto bwd = FindSwap(t, ctx, 1, 0);
+  EXPECT_TRUE(fwd.has_value());
+  EXPECT_TRUE(bwd.has_value());
+  // The NaN rows themselves also swap against ordered rows on b (NaN sorts
+  // last on a while b descends), but any witness must be a genuine strict
+  // increase/decrease pair under the total order.
+  if (fwd) {
+    const engine::Column& ca = t.col(0);
+    const engine::Column& cb = t.col(1);
+    EXPECT_GT(ca.Compare(fwd->t, ca, fwd->s), 0);
+    EXPECT_LT(cb.Compare(fwd->t, cb, fwd->s), 0);
+  }
+}
+
+TEST(SwapValidatorTest, AllNanColumnIsConstantNotSwapped) {
+  // All-NaN a: one equivalence class on a, no strict increase anywhere —
+  // never a swap witness source.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  engine::Schema s;
+  s.Add("a", engine::DataType::kDouble);
+  s.Add("b", engine::DataType::kDouble);
+  engine::Table t(s);
+  for (double b : {3.0, 1.0, 2.0}) t.AppendRow({Value(nan), Value(b)});
+  const StrippedPartition ctx = StrippedPartition::Universe(t.num_rows());
+  EXPECT_FALSE(FindSwap(t, ctx, 0, 1).has_value());
+  EXPECT_FALSE(FindSwap(t, ctx, 1, 0).has_value());
 }
 
 }  // namespace

@@ -150,6 +150,74 @@ TEST(ProverTest, CounterexampleIsConsistentAndFalsifying) {
                    .has_value());
 }
 
+TEST(ProverTest, CounterexampleSharesTheMemo) {
+  NameTable names;
+  Prover pv(Parse(&names, "[a] -> [b]"));
+  const AttributeId a = names.Lookup("a");
+  const AttributeId b = names.Lookup("b");
+  const OrderDependency implied(AttributeList({a}), AttributeList({b}));
+  const OrderDependency refuted(AttributeList({b}), AttributeList({a}));
+
+  // A cached "implied" answers Counterexample with no extra search.
+  EXPECT_TRUE(pv.Implies(implied));
+  EXPECT_EQ(pv.search_count(), 1);
+  EXPECT_FALSE(pv.Counterexample(implied).has_value());
+  EXPECT_EQ(pv.search_count(), 1);
+
+  // A cached "not implied" stores only the boolean: the model is
+  // re-derived, and that search is counted.
+  EXPECT_FALSE(pv.Implies(refuted));
+  EXPECT_EQ(pv.search_count(), 2);
+  EXPECT_TRUE(pv.Counterexample(refuted).has_value());
+  EXPECT_EQ(pv.search_count(), 3);
+}
+
+TEST(ProverTest, CounterexamplePopulatesTheMemo) {
+  NameTable names;
+  Prover pv(Parse(&names, "[a] -> [b]"));
+  const OrderDependency refuted(AttributeList({names.Lookup("b")}),
+                                AttributeList({names.Lookup("a")}));
+  // Counterexample first: one search, and the boolean lands in the memo so
+  // the subsequent Implies is a pure lookup.
+  EXPECT_TRUE(pv.Counterexample(refuted).has_value());
+  EXPECT_EQ(pv.search_count(), 1);
+  EXPECT_FALSE(pv.Implies(refuted));
+  EXPECT_EQ(pv.search_count(), 1);
+}
+
+TEST(ProverTest, ConstantsShortCircuitThroughFdProjection) {
+  // Every attribute of ℳ is constant by the FD projection alone (∅ → k,
+  // ∅ → j via transitivity through k): Constants() must not run a single
+  // model search.
+  NameTable names;
+  Prover pv(Parse(&names, "[] -> [k]; [k] -> [j]"));
+  EXPECT_EQ(pv.Constants(),
+            (AttributeSet{names.Lookup("k"), names.Lookup("j")}));
+  EXPECT_EQ(pv.search_count(), 0);
+  // And the seeded memo answers the equivalent Implies without searching.
+  EXPECT_TRUE(pv.Implies(AttributeList::EmptyList(),
+                         AttributeList({names.Lookup("k")})));
+  EXPECT_EQ(pv.search_count(), 0);
+}
+
+TEST(ProverTest, EmptyTheoryConstantsNeedNoSearch) {
+  Prover pv((DependencySet()));
+  EXPECT_FALSE(pv.IsConstant(0));
+  EXPECT_TRUE(pv.Constants().IsEmpty());
+  EXPECT_EQ(pv.search_count(), 0);
+}
+
+TEST(ProverTest, FdConstantStillFallsBackForNonConstants) {
+  // k is FD-constant; a is not constant at all — the fallback search must
+  // still run (and answer correctly) where the projection is silent.
+  NameTable names;
+  Prover pv(Parse(&names, "[] -> [k]; [a] -> [b]"));
+  EXPECT_TRUE(pv.IsConstant(names.Lookup("k")));
+  EXPECT_EQ(pv.search_count(), 0);
+  EXPECT_FALSE(pv.IsConstant(names.Lookup("a")));
+  EXPECT_EQ(pv.search_count(), 1);
+}
+
 TEST(ProverTest, OrderCompatibilityDefinition) {
   // A ~ B alone (no other constraints) is NOT valid: a swap falsifies it.
   Prover empty((DependencySet()));
