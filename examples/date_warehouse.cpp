@@ -3,6 +3,7 @@
 // style), executes both, and verifies they agree.
 
 #include <cstdio>
+#include <memory>
 
 #include "engine/index.h"
 #include "engine/ops.h"
@@ -27,8 +28,12 @@ int main() {
               static_cast<long long>(fact.num_rows()));
 
   // --- Example 1: eliminate quarter from ORDER BY / GROUP BY ---------------
+  // One shared catalog for every reasoning consumer: the date-dimension
+  // ODs live in a Theory, and both the raw prover and the optimizer's
+  // OrderReasoner attach to it (catalog edits would reach both at once).
   const warehouse::DateDimColumns d;
-  prover::Prover pv(warehouse::DateDimOds());
+  auto catalog = std::make_shared<theory::Theory>(warehouse::DateDimOds());
+  prover::Prover pv(catalog);
   const AttributeList order_by({d.d_year, d.d_quarter, d.d_moy});
   auto reduced = opt::ReduceOrderPlus(pv, order_by);
   std::printf("ORDER BY %s reduces to %s\n", ToString(order_by).c_str(),
@@ -36,7 +41,7 @@ int main() {
   for (const auto& line : reduced.log) std::printf("  %s\n", line.c_str());
 
   // --- The surrogate-key rewrite (Section 2.3 / [18]) ----------------------
-  opt::OrderReasoner reasoner(warehouse::DateDimOds());
+  opt::OrderReasoner reasoner(catalog);
   std::printf("\nrewrite applicable ([d_date_sk] <-> [d_date])? %s\n\n",
               opt::RewriteApplicable(reasoner, d.d_date_sk, d.d_date)
                   ? "yes"

@@ -6,10 +6,12 @@
 //               ./build/examples/discover_ods
 
 #include <cstdio>
+#include <memory>
 
 #include "discovery/discovery.h"
 #include "engine/table.h"
 #include "prover/prover.h"
+#include "theory/theory.h"
 
 int main() {
   using namespace od;
@@ -51,9 +53,12 @@ int main() {
   std::printf("\nList-form cover (%d ODs):\n%s\n", mined.ods.Size(),
               mined.ods.ToString(mined.names).c_str());
 
-  // 3. The discovered cover is a first-class DependencySet: hand it to the
-  //    prover and ask about ODs that were never materialized explicitly.
-  prover::Prover pv(mined.ods);
+  // 3. The discovered cover is a first-class DependencySet: seed a Theory
+  //    catalog with it (from here on, constraints could be added or
+  //    dropped live) and ask the prover about ODs that were never
+  //    materialized explicitly.
+  auto catalog = std::make_shared<od::theory::Theory>(mined.ods);
+  prover::Prover pv(catalog);
   const AttributeId date = mined.names.Lookup("date");
   const AttributeId month = mined.names.Lookup("month");
   const AttributeId quarter = mined.names.Lookup("quarter");

@@ -1,16 +1,19 @@
-// Quickstart for libod: declare order dependencies, check them against
-// data, ask the theorem prover questions, and print a mechanical proof.
+// Quickstart for libod: declare order dependencies in a mutable Theory,
+// check them against data, ask the theorem prover questions — including
+// after live constraint adds/drops — and print a mechanical proof.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "axioms/system.h"
 #include "axioms/theorems.h"
 #include "core/parser.h"
 #include "core/witness.h"
 #include "prover/prover.h"
+#include "theory/theory.h"
 
 int main() {
   using namespace od;
@@ -38,8 +41,10 @@ int main() {
   std::printf("Figure 1 ⊨ [A,B,C] -> [F,D,E]?  no — falsified by a %s\n\n",
               witness->kind == ViolationKind::kSwap ? "swap" : "split");
 
-  // 3. Ask the prover (sound and complete): does ℳ imply a new OD?
-  prover::Prover pv(constraints);
+  // 3. Put the catalog in a Theory — a versioned, MUTABLE constraint set —
+  //    and attach the prover (sound and complete) to it.
+  auto theory = std::make_shared<theory::Theory>(constraints);
+  prover::Prover pv(theory);
   auto ask = [&](const char* text) {
     auto ods = parser.ParseStatement(text);
     bool all = true;
@@ -56,7 +61,26 @@ int main() {
   std::printf("\nCounterexample for [quarter] -> [month]:\n%s",
               cex->ToString().c_str());
 
-  // 5. Derived theorems come with printable derivations (Section 3.3).
+  // 5. Catalogs change. Declare a new constraint and the SAME prover
+  //    tracks it — the memo is kept consistent incrementally (epoch-tagged
+  //    entries with certificates), not rebuilt.
+  auto added = parser.ParseStatement("[quarter] -> [month]");
+  const theory::ConstraintId id = theory->Add((*added)[0]);
+  std::printf("\nAfter declaring [quarter] -> [month] (epoch %llu):\n",
+              static_cast<unsigned long long>(theory->epoch()));
+  ask("[quarter] -> [month]");   // now follows, of course
+  ask("[month] <-> [quarter]");  // and the equivalence closes
+  theory->Remove(id);
+  std::printf("After dropping it again (epoch %llu):\n",
+              static_cast<unsigned long long>(theory->epoch()));
+  ask("[quarter] -> [month]");
+  std::printf("searches executed: %lld, cache hits: %lld, "
+              "entries retained across churn: %lld\n",
+              static_cast<long long>(pv.searches_executed()),
+              static_cast<long long>(pv.cache_hits()),
+              static_cast<long long>(pv.entries_retained()));
+
+  // 6. Derived theorems come with printable derivations (Section 3.3).
   const AttributeId year = names.Lookup("year");
   const AttributeId quarter = names.Lookup("quarter");
   const AttributeId month = names.Lookup("month");

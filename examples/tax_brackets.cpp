@@ -36,15 +36,16 @@ int main() {
               axioms::CheckProofSemantically(proof, &error) ? "yes" : "no");
 
   // The optimizer view: ORDER BY bracket, tax is provided by income order.
+  // The reasoner owns the catalog as a Theory; the ReduceOrder+ call below
+  // shares the same prover (and memo) through it.
   opt::OrderReasoner reasoner(constraints);
   const bool provided = reasoner.Provides({c.income}, {c.bracket, c.tax});
   std::printf("income-ordered stream answers ORDER BY bracket, tax? %s\n",
               provided ? "yes" : "no");
 
   // ReduceOrder+ collapses ORDER BY bracket, tax, income to income alone.
-  prover::Prover pv(constraints);
   auto reduced = opt::ReduceOrderPlus(
-      pv, AttributeList({c.bracket, c.tax, c.income}));
+      reasoner.prover(), AttributeList({c.bracket, c.tax, c.income}));
   std::printf("ORDER BY [bracket, tax, income] reduces to %s\n\n",
               names.Format(reduced.reduced).c_str());
 

@@ -1,23 +1,34 @@
 #include "armstrong/generator.h"
 
+#include <memory>
+
 #include "armstrong/append.h"
 #include "armstrong/split_table.h"
 #include "armstrong/swap_table.h"
 #include "core/witness.h"
 #include "prover/prover.h"
 #include "prover/two_row_model.h"
+#include "theory/theory.h"
 
 namespace od {
 namespace armstrong {
 
-Relation BuildArmstrongTable(const DependencySet& m,
-                             const AttributeSet& universe) {
-  prover::Prover pv(m);
+namespace {
+
+/// The recursive body of the construction. The "freeze the context to
+/// constants" step of Hypothesis 1 is expressed as theory churn: the
+/// context constraints are Added around the recursive call and Removed
+/// after it, so the entire recursion tree shares ONE prover memo — adds
+/// keep every cached positive (implication is monotone) and the removals
+/// keep negatives plus any positive whose support set avoided the frozen
+/// constants, instead of rebuilding a prover per recursion node.
+Relation BuildRec(const std::shared_ptr<theory::Theory>& th,
+                  const prover::Prover& pv, const AttributeSet& universe) {
   const AttributeSet constants = pv.Constants().Intersect(universe);
   const std::vector<AttributeId> live =
       universe.Minus(constants).ToVector();
 
-  Relation table = BuildSplitTable(m, universe);
+  Relation table = BuildSplitTable(th->deps(), universe);
 
   for (size_t i = 0; i < live.size(); ++i) {
     for (size_t j = i + 1; j < live.size(); ++j) {
@@ -28,21 +39,27 @@ Relation BuildArmstrongTable(const DependencySet& m,
         Relation sub(table.num_attributes());
         if (ctx.IsEmpty()) {
           auto figure9 = BuildEmptyContextSwap(pv, universe, a, b);
-          if (figure9.has_value() && Satisfies(*figure9, m)) {
+          if (figure9.has_value() && Satisfies(*figure9, th->deps())) {
             sub = *figure9;
           } else {
             // Exact fallback: materialize a two-row model of ℳ containing
             // the required swap (always exists — the context was feasible).
             auto model = prover::FindModelWithSigns(
-                m, universe,
+                th->deps(), universe,
                 {{a, prover::Sign{1}}, {b, prover::Sign{-1}}});
             if (!model.has_value()) continue;
             sub = model->ToRelation();
           }
         } else {
-          DependencySet frozen = m;
-          for (AttributeId c : ctx.ToVector()) frozen.AddConstant(c);
-          sub = BuildArmstrongTable(frozen, universe);
+          // Freeze the context ([] ↦ c for each c ∈ ctx), recurse, thaw.
+          // Removal by id restores ℳ exactly (the adds sit at the tail).
+          std::vector<theory::ConstraintId> frozen;
+          for (AttributeId c : ctx.ToVector()) {
+            frozen.push_back(th->Add(OrderDependency(
+                AttributeList::EmptyList(), AttributeList({c}))));
+          }
+          sub = BuildRec(th, pv, universe);
+          for (theory::ConstraintId id : frozen) th->Remove(id);
         }
         table = Append(table, sub);
       }
@@ -60,6 +77,15 @@ Relation BuildArmstrongTable(const DependencySet& m,
     }
   }
   return table;
+}
+
+}  // namespace
+
+Relation BuildArmstrongTable(const DependencySet& m,
+                             const AttributeSet& universe) {
+  auto th = std::make_shared<theory::Theory>(m);
+  prover::Prover pv(th);
+  return BuildRec(th, pv, universe);
 }
 
 }  // namespace armstrong

@@ -81,6 +81,10 @@ class DependencySet {
   /// Adds [] ↦ [a]: attribute `a` is constant (Definition 18).
   void AddConstant(AttributeId a);
 
+  /// Removes the OD at position `i`, preserving the order of the rest.
+  /// Used by the incremental theory to keep its parallel id vector aligned.
+  void RemoveAt(int i) { ods_.erase(ods_.begin() + i); }
+
   int Size() const { return static_cast<int>(ods_.size()); }
   bool IsEmpty() const { return ods_.empty(); }
   const OrderDependency& operator[](int i) const { return ods_[i]; }

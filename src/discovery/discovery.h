@@ -47,7 +47,8 @@ struct DiscoveryOptions {
 };
 
 struct DiscoveryResult {
-  /// The mined cover in list form, ready for `prover::Prover(ods)`.
+  /// The mined cover in list form, ready to seed a `theory::Theory`
+  /// catalog (or the `prover::Prover(ods)` frozen-set convenience).
   DependencySet ods;
   /// The same cover in canonical set-based form.
   std::vector<ConstancyOd> constancies;

@@ -30,6 +30,13 @@ bool Satisfies(const Relation& r, const FunctionalDependency& f) {
   return true;
 }
 
+bool FdSet::Remove(const FunctionalDependency& f) {
+  auto it = std::find(fds_.begin(), fds_.end(), f);
+  if (it == fds_.end()) return false;
+  fds_.erase(it);
+  return true;
+}
+
 AttributeSet FdSet::Closure(const AttributeSet& x) const {
   AttributeSet closure = x;
   bool changed = true;
@@ -45,12 +52,38 @@ AttributeSet FdSet::Closure(const AttributeSet& x) const {
   return closure;
 }
 
+AttributeSet FdSet::Closure(const AttributeSet& x, const AttributeSet& target,
+                            std::vector<int>* used_fds) const {
+  if (used_fds != nullptr) used_fds->clear();
+  AttributeSet closure = x;
+  if (target.SubsetOf(closure)) return closure;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < static_cast<int>(fds_.size()); ++i) {
+      const auto& f = fds_[i];
+      if (f.lhs.SubsetOf(closure) && !f.rhs.SubsetOf(closure)) {
+        closure = closure.Union(f.rhs);
+        changed = true;
+        if (used_fds != nullptr) used_fds->push_back(i);
+        if (target.SubsetOf(closure)) return closure;
+      }
+    }
+  }
+  return closure;
+}
+
 bool FdSet::Implies(const FunctionalDependency& f) const {
-  return f.rhs.SubsetOf(Closure(f.lhs));
+  return f.rhs.SubsetOf(Closure(f.lhs, f.rhs));
 }
 
 bool FdSet::Implies(const AttributeSet& lhs, const AttributeSet& rhs) const {
   return Implies(FunctionalDependency(lhs, rhs));
+}
+
+bool FdSet::Implies(const AttributeSet& lhs, const AttributeSet& rhs,
+                    std::vector<int>* used_fds) const {
+  return rhs.SubsetOf(Closure(lhs, rhs, used_fds));
 }
 
 AttributeSet FdSet::Attributes() const {

@@ -41,16 +41,41 @@ class FdSet {
   void Add(FunctionalDependency f) { fds_.push_back(f); }
   void Add(AttributeSet lhs, AttributeSet rhs) { fds_.emplace_back(lhs, rhs); }
 
+  /// Removes the FD at position `i`, preserving the order of the rest —
+  /// the incremental theory keeps parallel id vectors aligned by index.
+  void RemoveAt(int i) { fds_.erase(fds_.begin() + i); }
+  /// Removes the first FD equal to `f`; returns whether one was found.
+  bool Remove(const FunctionalDependency& f);
+
   int Size() const { return static_cast<int>(fds_.size()); }
   const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// Syntactic equality: the same FDs in the same order. (Two FdSets can be
+  /// logically equivalent without being ==; use Implies both ways for that.)
+  friend bool operator==(const FdSet& a, const FdSet& b) {
+    return a.fds_ == b.fds_;
+  }
+  friend bool operator!=(const FdSet& a, const FdSet& b) { return !(a == b); }
 
   /// The attribute-set closure X⁺ under ℱ (Ullman's linear-pass algorithm):
   /// the largest set Y with ℱ ⊨ X → Y.
   AttributeSet Closure(const AttributeSet& x) const;
 
+  /// Closure bounded by a target: stops (early exit) as soon as the closure
+  /// covers `target`, so deciding ℱ ⊨ X → G does not pay for the full
+  /// fixpoint. If `used_fds` is non-null it receives the indices (into
+  /// fds()) of the FDs that fired before the exit — a *support set*: those
+  /// FDs alone already take X to the returned closure, so the answer
+  /// "target covered" is insensitive to removing any FD outside it.
+  AttributeSet Closure(const AttributeSet& x, const AttributeSet& target,
+                       std::vector<int>* used_fds = nullptr) const;
+
   /// ℱ ⊨ F → G, decided via closure (sound and complete by Armstrong).
   bool Implies(const FunctionalDependency& f) const;
   bool Implies(const AttributeSet& lhs, const AttributeSet& rhs) const;
+  /// As above, reporting the support indices (see the bounded Closure).
+  bool Implies(const AttributeSet& lhs, const AttributeSet& rhs,
+               std::vector<int>* used_fds) const;
 
   /// All attributes mentioned.
   AttributeSet Attributes() const;

@@ -1,12 +1,15 @@
 #ifndef OD_OPTIMIZER_ORDER_PROPERTY_H_
 #define OD_OPTIMIZER_ORDER_PROPERTY_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dependency.h"
 #include "engine/ops.h"
 #include "prover/prover.h"
+#include "theory/theory.h"
 
 namespace od {
 namespace opt {
@@ -26,10 +29,19 @@ engine::SortSpec ToSpec(const AttributeList& list);
 /// own ORDER BY text*, which must preserve semantics exactly.
 class OrderReasoner {
  public:
+  /// Reasons over a shared, *mutable* constraint catalog: declare or drop
+  /// ODs on the theory mid-flight and the reasoner's answers track the new
+  /// catalog (the prover's memo is kept consistent incrementally).
+  explicit OrderReasoner(std::shared_ptr<theory::Theory> theory)
+      : theory_(std::move(theory)), prover_(theory_) {}
+  /// Convenience for a frozen catalog.
   explicit OrderReasoner(DependencySet constraints)
-      : prover_(std::move(constraints)) {}
+      : OrderReasoner(
+            std::make_shared<theory::Theory>(std::move(constraints))) {}
 
   const prover::Prover& prover() const { return prover_; }
+  theory::Theory& theory() { return *theory_; }
+  const theory::Theory& theory() const { return *theory_; }
 
   /// A stream sorted by `provided` also satisfies ORDER BY `required`.
   bool Provides(const engine::SortSpec& provided,
@@ -53,6 +65,7 @@ class OrderReasoner {
       const;
 
  private:
+  std::shared_ptr<theory::Theory> theory_;
   prover::Prover prover_;
 };
 

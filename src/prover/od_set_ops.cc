@@ -18,23 +18,21 @@ bool EquivalentSets(const DependencySet& m1, const DependencySet& m2) {
 }
 
 DependencySet RemoveRedundant(const DependencySet& m) {
-  std::vector<OrderDependency> kept = m.ods();
-  // Greedily try to drop each OD; keep the drop if the rest still implies it.
-  for (size_t i = 0; i < kept.size();) {
-    std::vector<OrderDependency> rest;
-    rest.reserve(kept.size() - 1);
-    for (size_t j = 0; j < kept.size(); ++j) {
-      if (j != i) rest.push_back(kept[j]);
-    }
-    Prover pv(DependencySet{rest});
-    if (pv.Implies(kept[i])) {
-      kept = std::move(rest);
-      // Do not advance: position i now holds the next candidate.
-    } else {
-      ++i;
-    }
+  // Greedily try to drop each OD; keep the drop if the rest still implies
+  // it. One live theory + prover across the whole sweep: each probe is a
+  // Remove, a query, and (when the OD turned out non-redundant) a re-Add —
+  // and the prover's monotonicity-aware retention carries cached answers
+  // across the probes instead of rebuilding a memo from scratch per
+  // candidate, as the old one-prover-per-subset implementation did.
+  auto th = std::make_shared<theory::Theory>(m);
+  Prover pv(th);
+  const std::vector<theory::ConstraintId> initial = th->ids();
+  for (theory::ConstraintId id : initial) {
+    const OrderDependency candidate = *th->Find(id);
+    th->Remove(id);
+    if (!pv.Implies(candidate)) th->Add(candidate);
   }
-  return DependencySet(std::move(kept));
+  return th->deps();
 }
 
 DependencySet Normalize(const DependencySet& m) {

@@ -1,16 +1,24 @@
 #include "prover/prover.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 
 #include "common/thread_pool.h"
 
 namespace od {
 namespace prover {
 
+Prover::Prover(std::shared_ptr<theory::Theory> theory)
+    : theory_(std::move(theory)),
+      listener_(theory_->Subscribe([this](const theory::ChangeEvent& event) {
+        OnTheoryChange(event);
+      })) {}
+
 Prover::Prover(DependencySet m)
-    : m_(std::move(m)),
-      fds_(fd::FdProjection(m_)),
-      universe_(m_.Attributes()) {}
+    : Prover(std::make_shared<theory::Theory>(m)) {}
+
+Prover::~Prover() { theory_->Unsubscribe(listener_); }
 
 Prover::CacheShard& Prover::ShardFor(const OrderDependency& dep) const {
   // Fold the hash's upper half into the shard index: the shard's
@@ -29,23 +37,206 @@ std::optional<bool> Prover::CacheLookup(CacheShard& shard,
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   auto it = shard.map.find(dep);
   if (it == shard.map.end()) return std::nullopt;
+  return it->second.implied;
+}
+
+std::optional<Prover::Entry> Prover::EntryLookup(
+    CacheShard& shard, const OrderDependency& dep) const {
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(dep);
+  if (it == shard.map.end()) return std::nullopt;
   return it->second;
 }
 
 void Prover::CacheStore(CacheShard& shard, const OrderDependency& dep,
-                        bool implied) const {
+                        bool implied, const std::vector<int>& search_support,
+                        std::optional<SignVector> model) const {
+  Entry entry;
+  entry.implied = implied;
+  entry.epoch = theory_->epoch();
+  if (implied) {
+    // Translate search indices into stable constraint ids so the support
+    // certificate stays meaningful as later removals shuffle indices.
+    const std::vector<theory::ConstraintId>& ids = theory_->ids();
+    entry.support.reserve(search_support.size());
+    for (int index : search_support) entry.support.push_back(ids[index]);
+  } else {
+    entry.model = std::move(model);
+  }
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.map.emplace(dep, implied);
+  shard.map.emplace(dep, std::move(entry));
 }
+
+namespace {
+
+/// Does the zero-extension of `model` satisfy `dep`? Attributes beyond the
+/// model's width compare equal across its two rows (sign 0) — a valid
+/// completion of the countermodel into a grown attribute universe. Reads
+/// the out-of-range signs as 0 directly: this runs per memo entry on the
+/// mutation sweep, so no extended copy (or width scan) is materialized.
+Sign ExtendedCompareOnList(const SignVector& model, const AttributeList& list) {
+  for (int i = 0; i < list.Size(); ++i) {
+    const AttributeId a = list[i];
+    const Sign s = a < model.size() ? model.Get(a) : Sign{0};
+    if (s != 0) return s;
+  }
+  return 0;
+}
+
+bool ExtendedSatisfies(const SignVector& model, const OrderDependency& dep) {
+  const Sign cx = ExtendedCompareOnList(model, dep.lhs);
+  const Sign cy = ExtendedCompareOnList(model, dep.rhs);
+  // Mirrors SignVector::Satisfies for both tuple orientations.
+  if (cx <= 0 && cy > 0) return false;
+  if (cx >= 0 && cy < 0) return false;
+  return true;
+}
+
+}  // namespace
+
+void Prover::OnTheoryChange(const theory::ChangeEvent& event) const {
+  // The theory already reflects the change; sweep the memo with the
+  // monotonicity rules. Runs inside Add/Remove, which the contract forbids
+  // racing with queries, but the locks are taken anyway so a well-behaved
+  // reader never observes a torn shard.
+  const bool added = event.kind == theory::ChangeEvent::Kind::kAdd;
+  int64_t invalidated = 0;
+  int64_t retained = 0;
+  for (CacheShard& shard : cache_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      const Entry& entry = it->second;
+      bool evict;
+      if (added) {
+        if (entry.implied) {
+          // Monotone: positives stay sound under any add.
+          evict = false;
+        } else {
+          // A negative survives iff its countermodel also satisfies the
+          // new constraint — then it is still a model of ℳ ∪ {c} that
+          // falsifies the query.
+          evict = !entry.model.has_value() ||
+                  !ExtendedSatisfies(*entry.model, event.od);
+          if (!evict) ++retained;
+        }
+      } else if (entry.implied) {
+        // Anti-monotone removal: a positive survives iff its support
+        // certificate proves the removed constraint irrelevant.
+        evict = std::find(entry.support.begin(), entry.support.end(),
+                          event.id) != entry.support.end();
+        if (!evict) ++retained;
+      } else {
+        // Negatives stay sound under removal.
+        evict = false;
+      }
+      if (evict) {
+        it = shard.map.erase(it);
+        ++invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+  entries_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
+  entries_retained_.fetch_add(retained, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Directed relevance closure of `target` in ℳ: grow an attribute frontier
+/// from attrs(target), pulling in every constraint whose LHS the frontier
+/// already covers (constants [] ↦ A enter immediately). Most implications
+/// are provable from this subset alone — it is how derivations chain
+/// forward through Transitivity/Augmentation — and by monotonicity any
+/// "implied" verdict obtained from a SUBSET of ℳ is sound for ℳ itself, so
+/// the subset search needs no completeness argument: a miss just falls
+/// back to the full search. Returns sorted indices into m.ods().
+std::vector<int> RelevantConstraints(const DependencySet& m,
+                                     const OrderDependency& target) {
+  AttributeSet frontier = target.Attributes();
+  std::vector<char> in(m.ods().size(), 0);
+  std::vector<int> out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < m.Size(); ++i) {
+      if (in[i]) continue;
+      if (m[i].lhs.ToSet().SubsetOf(frontier)) {
+        in[i] = 1;
+        out.push_back(i);
+        frontier = frontier.Union(m[i].Attributes());
+        changed = true;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
 
 bool Prover::Implies(const OrderDependency& dep) const {
   CacheShard& shard = ShardFor(dep);
-  if (auto cached = CacheLookup(shard, dep)) return *cached;
+  if (auto cached = CacheLookup(shard, dep)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *cached;
+  }
   // Search outside the lock: a racing duplicate re-derives the same answer.
-  search_count_.fetch_add(1, std::memory_order_relaxed);
-  const bool implied =
-      !FindFalsifyingModel(m_, dep, universe_).has_value();
-  CacheStore(shard, dep, implied);
+  // One counter tick per cache-miss resolution, even when the relevance
+  // phase below falls through to the full search.
+  searches_executed_.fetch_add(1, std::memory_order_relaxed);
+  const DependencySet& m = theory_->deps();
+
+  // Phase 1 — relevance-guided: search only the directed closure of the
+  // target. A positive verdict here is sound (monotonicity) and comes with
+  // a MINIMAL-footprint support set: constraints outside the closure never
+  // enter it, so the cached entry survives their removal. The restricted
+  // universe also shrinks the 3^n space the exhaustive proof must cover.
+  const std::vector<int> relevant = RelevantConstraints(m, dep);
+  if (static_cast<int>(relevant.size()) < m.Size()) {
+    DependencySet restricted;
+    for (int index : relevant) restricted.Add(m[index]);
+    std::vector<int> restricted_support;
+    auto subset_model = FindFalsifyingModel(restricted, dep,
+                                            AttributeSet::Empty(),
+                                            &restricted_support);
+    if (!subset_model.has_value()) {
+      std::vector<int> support;
+      support.reserve(restricted_support.size());
+      for (int index : restricted_support) {
+        support.push_back(relevant[index]);
+      }
+      CacheStore(shard, dep, true, support, std::nullopt);
+      return true;
+    }
+    // A falsifying model of the SUBSET proves nothing about ℳ by itself —
+    // unless its zero-extension happens to satisfy every excluded
+    // constraint too, in which case it IS a countermodel of ℳ and the
+    // full search is unnecessary. (The search's zero-first heuristic
+    // makes this the common case: attributes the subset never mentions
+    // stay equal across the two rows.)
+    bool satisfies_rest = true;
+    size_t next_relevant = 0;
+    for (int i = 0; i < m.Size() && satisfies_rest; ++i) {
+      if (next_relevant < relevant.size() &&
+          relevant[next_relevant] == i) {
+        ++next_relevant;
+        continue;
+      }
+      satisfies_rest = ExtendedSatisfies(*subset_model, m[i]);
+    }
+    if (satisfies_rest) {
+      CacheStore(shard, dep, false, {}, std::move(subset_model));
+      return false;
+    }
+    // Genuinely inconclusive — fall through to the exact full search.
+  }
+
+  // Phase 2 — exact: the full constraint set over the full universe.
+  std::vector<int> support;
+  auto model = FindFalsifyingModel(m, dep, theory_->attributes(), &support);
+  const bool implied = !model.has_value();
+  CacheStore(shard, dep, implied, support, std::move(model));
   return implied;
 }
 
@@ -84,19 +275,28 @@ bool Prover::OrderCompatible(const AttributeList& x,
 
 bool Prover::ImpliesFd(const AttributeSet& lhs,
                        const AttributeSet& rhs) const {
-  return fds_.Implies(lhs, rhs);
+  return theory_->fd_projection().Implies(lhs, rhs);
 }
 
 bool Prover::IsConstant(AttributeId a) const {
   // No constraints: σ[a] = +1 on its own is a model, so nothing is
   // constant — answer without a search.
-  if (m_.IsEmpty()) return false;
-  // [] ↦ [a] is FD-shaped, so ℱ ⊨ ∅ → a already decides the positive case
-  // in polynomial time (Theorem 13/16). Seed the memo so a later
-  // Implies([] ↦ [a]) agrees without searching either.
+  if (theory_->IsEmpty()) return false;
   const OrderDependency dep(AttributeList::EmptyList(), AttributeList({a}));
-  if (fds_.Implies(AttributeSet::Empty(), AttributeSet({a}))) {
-    CacheStore(ShardFor(dep), dep, true);
+  CacheShard& shard = ShardFor(dep);
+  if (auto cached = CacheLookup(shard, dep)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *cached;
+  }
+  // [] ↦ [a] is FD-shaped, so ℱ ⊨ ∅ → a already decides the positive case
+  // in polynomial time (Theorem 13/16). Seed the memo — with the closure's
+  // fired FDs as the support certificate, since the projection is
+  // index-aligned with ℳ — so a later Implies([] ↦ [a]) agrees without
+  // searching either.
+  std::vector<int> used_fds;
+  if (theory_->fd_projection().Implies(AttributeSet::Empty(),
+                                       AttributeSet({a}), &used_fds)) {
+    CacheStore(shard, dep, true, used_fds, std::nullopt);
     return true;
   }
   return Implies(dep);
@@ -104,8 +304,8 @@ bool Prover::IsConstant(AttributeId a) const {
 
 AttributeSet Prover::Constants() const {
   AttributeSet out;
-  if (m_.IsEmpty()) return out;
-  for (AttributeId a : universe_.ToVector()) {
+  if (theory_->IsEmpty()) return out;
+  for (AttributeId a : theory_->attributes().ToVector()) {
     if (IsConstant(a)) out.Add(a);
   }
   return out;
@@ -114,17 +314,63 @@ AttributeSet Prover::Constants() const {
 std::optional<Relation> Prover::Counterexample(
     const OrderDependency& dep) const {
   CacheShard& shard = ShardFor(dep);
-  if (auto cached = CacheLookup(shard, dep)) {
+  if (auto cached = EntryLookup(shard, dep)) {
     // Implied: no falsifying model exists — skip the search entirely. Not
-    // implied: the memo holds only the boolean, so fall through and
-    // re-derive the model (counted, like any executed search).
-    if (*cached) return std::nullopt;
+    // implied: the memo sweeps keep the stored countermodel valid for the
+    // current ℳ, so materialize it (zero-extended to the present universe,
+    // where it still satisfies every live constraint) without a search.
+    if (cached->implied) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (cached->model.has_value()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return MaterializeCounterexample(*cached->model);
+    }
   }
-  search_count_.fetch_add(1, std::memory_order_relaxed);
-  auto model = FindFalsifyingModel(m_, dep, universe_);
-  CacheStore(shard, dep, !model.has_value());
-  if (!model) return std::nullopt;
-  return model->ToRelation();
+  searches_executed_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<int> support;
+  auto model = FindFalsifyingModel(theory_->deps(), dep, theory_->attributes(),
+                                   &support);
+  const bool implied = !model.has_value();
+  std::optional<Relation> result;
+  if (model) result = MaterializeCounterexample(*model);
+  CacheStore(shard, dep, implied, support, std::move(model));
+  return result;
+}
+
+Relation Prover::MaterializeCounterexample(const SignVector& model) const {
+  int width = model.size();
+  for (AttributeId a : theory_->attributes().ToVector()) {
+    if (a + 1 > width) width = a + 1;
+  }
+  if (width == model.size()) return model.ToRelation();
+  SignVector extended(width);
+  for (int a = 0; a < model.size(); ++a) extended.Set(a, model.Get(a));
+  return extended.ToRelation();
+}
+
+void Prover::ResetStats() {
+  searches_executed_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  entries_invalidated_.store(0, std::memory_order_relaxed);
+  entries_retained_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<uint64_t> Prover::entry_epoch(const OrderDependency& dep) const {
+  CacheShard& shard = ShardFor(dep);
+  auto entry = EntryLookup(shard, dep);
+  if (!entry) return std::nullopt;
+  return entry->epoch;
+}
+
+int64_t Prover::memo_size() const {
+  int64_t total = 0;
+  for (CacheShard& shard : cache_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += static_cast<int64_t>(shard.map.size());
+  }
+  return total;
 }
 
 }  // namespace prover

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 #include "core/relation.h"
 #include "fd/fd_set.h"
 #include "prover/two_row_model.h"
+#include "theory/theory.h"
 
 namespace od {
 
@@ -31,22 +33,80 @@ namespace prover {
 /// the FD projection (justified by Theorem 16); the general question falls
 /// back to the exponential-but-pruned model search, with memoization.
 ///
-/// Thread safety: all query methods are safe to call concurrently on one
-/// Prover instance. The memo is an unordered_map striped across
-/// shared-mutex shards keyed by OrderDependencyHash — lookups take a shard
-/// in shared mode, insertions in exclusive mode — and `search_count_` is
-/// atomic. Model searches run outside any lock, so two threads racing on
-/// the same fresh query may both execute the search; they compute the same
-/// answer (the procedure is deterministic) and `search_count()` then counts
-/// both, i.e. it reports searches *executed*, which under concurrent
-/// duplicates can exceed the number of distinct queries. Construction and
-/// destruction are not concurrent-safe with queries, as usual.
+/// ## Versioned theories and incremental re-proving
+///
+/// The prover reasons over a `theory::Theory` — a *mutable*, versioned
+/// catalog — rather than a frozen constructor copy of ℳ. It subscribes to
+/// the theory's change feed and keeps its memo consistent across catalog
+/// edits with monotonicity-aware retention instead of wholesale flushes:
+///
+///   * `Add(c)`: implication is monotone in ℳ (more constraints can only
+///     imply more), so every cached POSITIVE answer ("implied") stays
+///     sound and is retained. A cached NEGATIVE answer is retained iff its
+///     stored falsifying two-row model still satisfies `c` (the model then
+///     remains a countermodel under ℳ ∪ {c}); otherwise it is evicted —
+///     the answer may genuinely flip.
+///   * `Remove(c)`: dually, every cached NEGATIVE answer stays sound (its
+///     falsifying model still satisfies the smaller ℳ) and is retained;
+///     POSITIVE answers are evicted — *unless* the entry's recorded
+///     support set (the constraints the model search actually used to
+///     reject candidate models, a certificate that those constraints alone
+///     imply the answer; see FindFalsifyingModel) excludes `c`, in which
+///     case the positive answer provably survives and is kept.
+///
+/// Stored countermodels are implicitly zero-extended: an attribute the
+/// model never assigned compares equal across its two rows, which is a
+/// valid completion, so certificates stay checkable as the attribute
+/// universe grows.
+///
+/// Entries are epoch-tagged with the theory epoch at which they were
+/// derived; retention keeps the original tag, documenting how long an
+/// answer has stayed valid across churn.
+///
+/// ## Ownership
+///
+/// The prover holds a shared_ptr to its theory and registers a change
+/// listener for its own lifetime (unsubscribed in the destructor); a
+/// Prover is neither copyable nor movable. Many provers may share one
+/// theory. The `Prover(DependencySet)` convenience constructor wraps the
+/// set in a private single-owner theory for the common frozen-catalog use.
+///
+/// ## Thread safety
+///
+/// All query methods are safe to call concurrently on one Prover instance.
+/// The memo is an unordered_map striped across shared-mutex shards keyed
+/// by OrderDependencyHash — lookups take a shard in shared mode,
+/// insertions in exclusive mode — and the stats counters are atomic. Model
+/// searches run outside any lock, so two threads racing on the same fresh
+/// query may both execute the search; they compute the same answer (the
+/// procedure is deterministic) and `searches_executed()` then counts both,
+/// i.e. it reports searches *executed*, which under concurrent duplicates
+/// can exceed the number of distinct queries. Theory MUTATIONS are the
+/// exception: `Theory::Add`/`Remove` must not race with queries on any
+/// prover attached to that theory — mutate between query batches (see
+/// docs/theory.md). Construction and destruction are not concurrent-safe
+/// with queries, as usual.
 class Prover {
  public:
+  /// Attaches to a shared, mutable catalog; the prover tracks every
+  /// subsequent Add/Remove through the theory's change feed.
+  explicit Prover(std::shared_ptr<theory::Theory> theory);
+  /// Convenience for a frozen catalog: wraps `m` in a private theory.
   explicit Prover(DependencySet m);
+  ~Prover();
 
-  const DependencySet& deps() const { return m_; }
-  const fd::FdSet& fd_projection() const { return fds_; }
+  Prover(const Prover&) = delete;
+  Prover& operator=(const Prover&) = delete;
+
+  const theory::Theory& theory() const { return *theory_; }
+  const std::shared_ptr<theory::Theory>& shared_theory() const {
+    return theory_;
+  }
+  /// The theory's current version (see Theory::epoch).
+  uint64_t epoch() const { return theory_->epoch(); }
+
+  const DependencySet& deps() const { return theory_->deps(); }
+  const fd::FdSet& fd_projection() const { return theory_->fd_projection(); }
 
   /// ℳ ⊨ X ↦ Y.
   bool Implies(const OrderDependency& dep) const;
@@ -77,24 +137,71 @@ class Prover {
   AttributeSet Constants() const;
 
   /// A two-row relation satisfying ℳ and falsifying `dep`, if ℳ ⊭ dep.
-  /// Shares the memo with Implies: a cached "implied" answers nullopt with
-  /// no search; otherwise the (counted) search runs and re-derives the
-  /// model, and its boolean outcome is cached for later Implies calls.
+  /// Shares the memo with Implies: a cached "implied" answers nullopt and a
+  /// cached "not implied" materializes the stored countermodel (the memo
+  /// sweeps guarantee it is still a countermodel for the *current* ℳ),
+  /// both without a search; only a cold query runs the (counted) search.
+  /// The relation is zero-extended to the current attribute universe, so
+  /// it satisfies every live constraint even ones declared after the model
+  /// was first derived.
   std::optional<Relation> Counterexample(const OrderDependency& dep) const;
 
-  /// Number of model searches actually executed (cache misses); exposed for
-  /// benchmarking. Under concurrent duplicate queries this may exceed the
-  /// number of distinct queries asked (see class comment).
-  int64_t search_count() const {
-    return search_count_.load(std::memory_order_relaxed);
+  /// ## Statistics
+  ///
+  /// `searches_executed()` counts model searches actually run (cache
+  /// misses); `cache_hits()` counts queries answered from the memo without
+  /// a search. Under concurrent duplicate queries, executed searches may
+  /// exceed the number of distinct queries (see class comment).
+  int64_t searches_executed() const {
+    return searches_executed_.load(std::memory_order_relaxed);
   }
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  /// Memo entries evicted by catalog changes since construction (or the
+  /// last ResetStats), and entries that *survived* a change only thanks to
+  /// their certificate — positives whose support set excluded a removed
+  /// constraint, negatives whose countermodel satisfied an added one. The
+  /// direct measure of incremental retention for churn benchmarks.
+  int64_t entries_invalidated() const {
+    return entries_invalidated_.load(std::memory_order_relaxed);
+  }
+  int64_t entries_retained() const {
+    return entries_retained_.load(std::memory_order_relaxed);
+  }
+  /// Backwards-compatible alias for searches_executed().
+  int64_t search_count() const { return searches_executed(); }
+  /// Zeroes all counters above (not the memo). Not concurrent-safe with
+  /// in-flight queries that are mid-update, but safe between batches.
+  void ResetStats();
+
+  /// Number of entries currently memoized (takes every shard lock; meant
+  /// for tests and diagnostics, not hot paths).
+  int64_t memo_size() const;
+
+  /// The theory epoch at which the cached answer for `dep` was derived, if
+  /// one is memoized. Retention preserves the original tag, so
+  /// `entry_epoch(q) < epoch()` is exactly "this answer survived catalog
+  /// churn". Diagnostics only, not a hot path.
+  std::optional<uint64_t> entry_epoch(const OrderDependency& dep) const;
 
  private:
+  /// One memoized answer plus its survival certificate. Positive entries
+  /// carry `support` (ids of the constraints the deriving search used);
+  /// negative entries carry `model` (the falsifying two-row model found).
+  /// `epoch` is the theory version the answer was derived at.
+  struct Entry {
+    bool implied;
+    uint64_t epoch;
+    std::vector<theory::ConstraintId> support;
+    std::optional<SignVector> model;
+  };
+
   /// The memo stripe for `dep` plus its hash, so Implies and Counterexample
   /// agree on placement.
   struct CacheShard {
     mutable std::shared_mutex mu;
-    std::unordered_map<OrderDependency, bool, OrderDependencyHash> map;
+    std::unordered_map<OrderDependency, Entry, OrderDependencyHash> map;
   };
   static constexpr size_t kCacheShards = 16;
 
@@ -102,15 +209,30 @@ class Prover {
   /// Cached answer for `dep`, if present (shared lock).
   std::optional<bool> CacheLookup(CacheShard& shard,
                                   const OrderDependency& dep) const;
+  /// Full cached entry for `dep` (shared lock; copies — diagnostics and
+  /// Counterexample, not the Implies hot path).
+  std::optional<Entry> EntryLookup(CacheShard& shard,
+                                   const OrderDependency& dep) const;
   /// Records an answer (exclusive lock); first writer wins on races.
-  void CacheStore(CacheShard& shard, const OrderDependency& dep,
-                  bool implied) const;
+  /// `search_support` holds indices into deps().ods() as reported by the
+  /// model search (translated to stable ids here; used for positives);
+  /// `model` is the falsifying model (negatives).
+  void CacheStore(CacheShard& shard, const OrderDependency& dep, bool implied,
+                  const std::vector<int>& search_support,
+                  std::optional<SignVector> model) const;
+  /// Monotonicity-aware memo sweep, run from the theory's change feed.
+  void OnTheoryChange(const theory::ChangeEvent& event) const;
+  /// Zero-extends a stored countermodel to the current attribute universe
+  /// and materializes its two-row relation.
+  Relation MaterializeCounterexample(const SignVector& model) const;
 
-  DependencySet m_;
-  fd::FdSet fds_;
-  AttributeSet universe_;
+  std::shared_ptr<theory::Theory> theory_;
+  theory::Theory::ListenerToken listener_;
   mutable std::array<CacheShard, kCacheShards> cache_;
-  mutable std::atomic<int64_t> search_count_{0};
+  mutable std::atomic<int64_t> searches_executed_{0};
+  mutable std::atomic<int64_t> cache_hits_{0};
+  mutable std::atomic<int64_t> entries_invalidated_{0};
+  mutable std::atomic<int64_t> entries_retained_{0};
 };
 
 }  // namespace prover

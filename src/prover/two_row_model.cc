@@ -47,10 +47,16 @@ namespace {
 /// been assigned, pruning most of the 3^n space in practice.
 class ModelSearch {
  public:
-  ModelSearch(const DependencySet& m, const AttributeSet& universe)
+  /// If `used` is non-null, it is sized to m.Size() and used[i] is set
+  /// whenever constraint i rejects a (partial) assignment — the raw form of
+  /// the support set documented on FindFalsifyingModel.
+  ModelSearch(const DependencySet& m, const AttributeSet& universe,
+              std::vector<char>* used = nullptr)
       : universe_(universe.ToVector()),
         n_(universe_.empty() ? 0 : universe_.back() + 1),
-        model_(n_) {
+        model_(n_),
+        used_(used) {
+    if (used_ != nullptr) used_->assign(m.ods().size(), 0);
     // Assignment order: attributes in increasing id. Bucket each constraint
     // at the depth where its last mentioned attribute gets assigned.
     depth_of_.assign(n_, -1);
@@ -58,14 +64,31 @@ class ModelSearch {
       depth_of_[universe_[d]] = static_cast<int>(d);
     }
     ready_at_.resize(universe_.size() + 1);
-    for (const auto& dep : m.ods()) {
+    for (size_t i = 0; i < m.ods().size(); ++i) {
+      const auto& dep = m.ods()[i];
       int depth = 0;
       for (AttributeId a : dep.Attributes().ToVector()) {
         if (a < n_ && depth_of_[a] >= 0) {
           depth = std::max(depth, depth_of_[a] + 1);
         }
       }
-      ready_at_[depth].push_back(&dep);
+      ready_at_[depth].push_back({&dep, static_cast<int>(i)});
+    }
+  }
+
+  /// Prune every subtree in which `target` is already satisfied: once all
+  /// of target's attributes are assigned, its truth is fixed, so a
+  /// satisfied target admits no falsifying completion. Cuts the explored
+  /// space and — because the cut happens BEFORE constraint checks — keeps
+  /// the recorded support set free of constraints that only ever pruned
+  /// target-satisfying branches (which the implication does not rely on).
+  void PruneWhenTargetSatisfied(const OrderDependency& target) {
+    target_ = &target;
+    target_depth_ = 0;
+    for (AttributeId a : target.Attributes().ToVector()) {
+      if (a < n_ && depth_of_[a] >= 0) {
+        target_depth_ = std::max(target_depth_, depth_of_[a] + 1);
+      }
     }
   }
 
@@ -78,10 +101,22 @@ class ModelSearch {
   }
 
  private:
+  struct ReadyConstraint {
+    const OrderDependency* dep;
+    int index;
+  };
+
   bool Dfs(int depth, const std::function<bool(const SignVector&)>& leaf) {
+    if (target_ != nullptr && depth == target_depth_ &&
+        model_.Satisfies(*target_)) {
+      return false;
+    }
     // Constraints whose attributes are all assigned must hold from here on.
-    for (const OrderDependency* dep : ready_at_[depth]) {
-      if (!model_.Satisfies(*dep)) return false;
+    for (const ReadyConstraint& rc : ready_at_[depth]) {
+      if (!model_.Satisfies(*rc.dep)) {
+        if (used_ != nullptr) (*used_)[rc.index] = 1;
+        return false;
+      }
     }
     if (depth == static_cast<int>(universe_.size())) return leaf(model_);
     const AttributeId a = universe_[depth];
@@ -96,20 +131,35 @@ class ModelSearch {
   std::vector<AttributeId> universe_;
   int n_;
   SignVector model_;
+  std::vector<char>* used_;
+  const OrderDependency* target_ = nullptr;
+  int target_depth_ = 0;
   std::vector<int> depth_of_;
-  std::vector<std::vector<const OrderDependency*>> ready_at_;
+  std::vector<std::vector<ReadyConstraint>> ready_at_;
 };
 
 }  // namespace
 
 std::optional<SignVector> FindFalsifyingModel(const DependencySet& m,
                                               const OrderDependency& target,
-                                              const AttributeSet& universe) {
+                                              const AttributeSet& universe,
+                                              std::vector<int>* support) {
   AttributeSet full = universe.Union(m.Attributes()).Union(target.Attributes());
-  ModelSearch search(m, full);
-  return search.Search([&target](const SignVector& sv) {
+  std::vector<char> used;
+  ModelSearch search(m, full, support != nullptr ? &used : nullptr);
+  search.PruneWhenTargetSatisfied(target);
+  auto model = search.Search([&target](const SignVector& sv) {
     return !sv.Satisfies(target);
   });
+  if (support != nullptr) {
+    support->clear();
+    if (!model) {
+      for (size_t i = 0; i < used.size(); ++i) {
+        if (used[i]) support->push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return model;
 }
 
 std::optional<SignVector> FindNonConstantModel(const DependencySet& m,

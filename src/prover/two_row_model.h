@@ -61,9 +61,21 @@ class SignVector {
 /// of `m` and falsifies `target`. Returns nullopt iff none exists, i.e. iff
 /// ℳ ⊨ target. Attributes outside `universe` are ignored; universe must
 /// cover attrs(m) ∪ attrs(target).
+///
+/// If `support` is non-null it receives the indices (into m.ods()) of the
+/// constraints the search *used to reject candidate models* — each index
+/// marks a constraint that pruned at least one branch. When the search
+/// proves implication (returns nullopt), this set is a certificate: every
+/// sign vector either satisfies `target` or violates one of the support
+/// constraints, so the support constraints ALONE already imply `target`,
+/// and the "implied" answer survives removal of any constraint outside the
+/// support set. When a falsifying model is found, `support` is left empty
+/// (a found model certifies non-implication by itself).
 std::optional<SignVector> FindFalsifyingModel(const DependencySet& m,
                                               const OrderDependency& target,
-                                              const AttributeSet& universe);
+                                              const AttributeSet& universe,
+                                              std::vector<int>* support =
+                                                  nullptr);
 
 /// Searches for a sign vector satisfying all of `m` with σ[a] != 0 for `a`
 /// (used for constant detection: none exists iff ℳ ⊨ [] ↦ [a]).

@@ -1,0 +1,97 @@
+#include "theory/theory.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace od {
+namespace theory {
+
+Theory::Theory(const DependencySet& m) {
+  ids_.reserve(m.ods().size());
+  for (const auto& dep : m.ods()) Add(dep);
+}
+
+void Theory::TrackAttributes(const OrderDependency& dep, int delta) {
+  // Iterate the bitset directly — this runs on every mutation and on the
+  // Theory(DependencySet) bulk path, where a ToVector() heap allocation
+  // per constraint would dominate construction.
+  uint64_t bits = dep.Attributes().bits();
+  while (bits != 0) {
+    const int a = __builtin_ctzll(bits);
+    bits &= bits - 1;
+    attr_refs_[a] += delta;
+    if (attr_refs_[a] > 0) {
+      attributes_.Add(a);
+    } else {
+      attributes_.Remove(a);
+    }
+  }
+}
+
+ConstraintId Theory::Add(OrderDependency dep) {
+  const ConstraintId id = next_id_++;
+  fds_.Add(dep.lhs.ToSet(), dep.rhs.ToSet());
+  ids_.push_back(id);
+  TrackAttributes(dep, +1);
+  deps_.Add(dep);  // after the uses above; `dep` is still valid here
+  ++epoch_;
+  Notify(ChangeEvent{ChangeEvent::Kind::kAdd, id, std::move(dep), epoch_});
+  return id;
+}
+
+bool Theory::Remove(ConstraintId id) {
+  auto index = IndexOf(id);
+  if (!index) return false;
+  OrderDependency removed = deps_[*index];
+  deps_.RemoveAt(*index);
+  fds_.RemoveAt(*index);
+  ids_.erase(ids_.begin() + *index);
+  TrackAttributes(removed, -1);
+  ++epoch_;
+  Notify(
+      ChangeEvent{ChangeEvent::Kind::kRemove, id, std::move(removed), epoch_});
+  return true;
+}
+
+ConstraintId Theory::RemoveOne(const OrderDependency& dep) {
+  for (int i = 0; i < deps_.Size(); ++i) {
+    if (deps_[i] == dep) {
+      const ConstraintId id = ids_[i];
+      Remove(id);
+      return id;
+    }
+  }
+  return kNoConstraint;
+}
+
+std::optional<int> Theory::IndexOf(ConstraintId id) const {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) return std::nullopt;
+  return static_cast<int>(it - ids_.begin());
+}
+
+std::optional<OrderDependency> Theory::Find(ConstraintId id) const {
+  auto index = IndexOf(id);
+  if (!index) return std::nullopt;
+  return deps_[*index];
+}
+
+Theory::ListenerToken Theory::Subscribe(Listener listener) {
+  const ListenerToken token = next_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Theory::Unsubscribe(ListenerToken token) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [token](const auto& p) { return p.first == token; }),
+      listeners_.end());
+}
+
+void Theory::Notify(const ChangeEvent& event) const {
+  for (const auto& [token, fn] : listeners_) fn(event);
+}
+
+}  // namespace theory
+}  // namespace od

@@ -1,0 +1,144 @@
+#ifndef OD_THEORY_THEORY_H_
+#define OD_THEORY_THEORY_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/attribute.h"
+#include "core/dependency.h"
+#include "fd/fd_set.h"
+
+namespace od {
+namespace theory {
+
+/// Stable identity of one prescribed constraint inside a Theory. Ids are
+/// never reused: every Add — including re-adding a dependency that was
+/// removed earlier — mints a fresh id. This is what lets cached prover
+/// answers name exactly the constraints they relied on (support sets)
+/// without ambiguity across add/remove churn.
+using ConstraintId = int64_t;
+inline constexpr ConstraintId kNoConstraint = -1;
+
+/// One catalog mutation, delivered to subscribed listeners synchronously,
+/// after the theory's own state (deps, FD projection, attributes, epoch)
+/// already reflects the change.
+struct ChangeEvent {
+  enum class Kind { kAdd, kRemove };
+  Kind kind;
+  ConstraintId id;
+  OrderDependency od;
+  /// The epoch the theory advanced *to* with this change.
+  uint64_t epoch;
+};
+
+/// A versioned, mutable catalog of prescribed order dependencies ℳ — the
+/// object the paper's reasoning problems are parameterized by, lifted from
+/// a frozen constructor argument to a first-class entity with a lifetime.
+///
+/// Real catalogs change: constraints are declared, dropped, and refined
+/// over a system's life. Theory supports that with
+///
+///   * `Add` / `Remove`: O(1) amortized add, O(|ℳ|) remove, each advancing
+///     a monotonically increasing `epoch()`;
+///   * an *incrementally maintained* FD projection ℱ = {set(X) → set(Y)}
+///     (Lemma 1 / Theorem 16) — one FD per OD, updated in place instead of
+///     recomputed from scratch on every change;
+///   * an incrementally maintained attribute universe (per-attribute
+///     reference counts, so removals shrink it correctly);
+///   * change listeners, through which a `prover::Prover` (or any other
+///     derived structure) keeps its caches consistent without polling.
+///
+/// Index alignment invariant: `deps().ods()[i]`, `fd_projection().fds()[i]`
+/// and `ids()[i]` all describe the same constraint, for every i. Removal
+/// erases position i from all three, preserving the order of the rest.
+///
+/// Thread safety: `Theory` is externally synchronized. Mutations (`Add`,
+/// `Remove`, `Subscribe`, `Unsubscribe`) must not race with each other or
+/// with any reader — including concurrent prover queries, which read the
+/// theory through the accessors below. The intended deployment mutates the
+/// catalog between query batches (see docs/theory.md).
+class Theory {
+ public:
+  Theory() = default;
+  /// Seeds the catalog with every OD in `m` (epoch advances once per OD).
+  explicit Theory(const DependencySet& m);
+
+  /// A theory has identity — stable ids, an epoch history, and listeners
+  /// holding pointers back to their subscribers — so copying one would
+  /// alias subscriptions into an object the subscribers never attached to
+  /// (and dangle them once a subscriber dies). Snapshot `deps()` instead.
+  Theory(const Theory&) = delete;
+  Theory& operator=(const Theory&) = delete;
+
+  /// Declares a constraint; returns its fresh stable id. Duplicate ODs are
+  /// allowed (they get distinct ids), mirroring DependencySet.
+  ConstraintId Add(OrderDependency dep);
+  ConstraintId Add(const AttributeList& lhs, const AttributeList& rhs) {
+    return Add(OrderDependency(lhs, rhs));
+  }
+
+  /// Drops the constraint with the given id. Returns false (and does not
+  /// advance the epoch) if no such constraint is live.
+  bool Remove(ConstraintId id);
+  /// Drops the first live constraint equal to `dep`; returns its id, or
+  /// kNoConstraint if none matched.
+  ConstraintId RemoveOne(const OrderDependency& dep);
+
+  /// Number of successful mutations since construction; strictly increases
+  /// by exactly 1 per Add/Remove. Two Theory objects at the same epoch that
+  /// followed the same script are in identical states.
+  uint64_t epoch() const { return epoch_; }
+
+  int Size() const { return deps_.Size(); }
+  bool IsEmpty() const { return deps_.IsEmpty(); }
+  bool Contains(const OrderDependency& dep) const {
+    return deps_.Contains(dep);
+  }
+
+  /// The current constraint set ℳ, maintained incrementally.
+  const DependencySet& deps() const { return deps_; }
+  /// The current FD projection ℱ of ℳ, maintained incrementally —
+  /// identical (order included) to fd::FdProjection(deps()).
+  const fd::FdSet& fd_projection() const { return fds_; }
+  /// Stable ids, aligned by index with deps().ods() and
+  /// fd_projection().fds().
+  const std::vector<ConstraintId>& ids() const { return ids_; }
+  /// Current index of a live constraint id, if any (O(|ℳ|)).
+  std::optional<int> IndexOf(ConstraintId id) const;
+  /// The dependency currently registered under `id`, if live.
+  std::optional<OrderDependency> Find(ConstraintId id) const;
+
+  /// All attributes mentioned by some live constraint (refcounted, so it
+  /// shrinks when the last constraint naming an attribute is removed).
+  const AttributeSet& attributes() const { return attributes_; }
+
+  /// Change subscription. Listeners run synchronously inside Add/Remove,
+  /// in subscription order, after the theory state is updated; they must
+  /// not mutate the theory re-entrantly. Returns a token for Unsubscribe.
+  using Listener = std::function<void(const ChangeEvent&)>;
+  using ListenerToken = int64_t;
+  ListenerToken Subscribe(Listener listener);
+  void Unsubscribe(ListenerToken token);
+
+ private:
+  void Notify(const ChangeEvent& event) const;
+  void TrackAttributes(const OrderDependency& dep, int delta);
+
+  DependencySet deps_;
+  fd::FdSet fds_;
+  std::vector<ConstraintId> ids_;
+  AttributeSet attributes_;
+  std::array<int32_t, kMaxAttributes> attr_refs_{};
+  uint64_t epoch_ = 0;
+  ConstraintId next_id_ = 0;
+  std::vector<std::pair<ListenerToken, Listener>> listeners_;
+  ListenerToken next_token_ = 0;
+};
+
+}  // namespace theory
+}  // namespace od
+
+#endif  // OD_THEORY_THEORY_H_

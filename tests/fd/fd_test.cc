@@ -29,6 +29,63 @@ TEST(FdSetTest, Implication) {
   EXPECT_FALSE(f.Implies(AttributeSet{2}, AttributeSet{1}));
 }
 
+TEST(FdSetTest, RemoveAndEquality) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});
+  f.Add(AttributeSet{1}, AttributeSet{2});
+  f.Add(AttributeSet{0}, AttributeSet{1});  // duplicate entry
+  FdSet g = f;
+  EXPECT_EQ(f, g);
+  // Remove drops exactly the FIRST match, preserving order.
+  EXPECT_TRUE(g.Remove(FunctionalDependency(AttributeSet{0}, AttributeSet{1})));
+  EXPECT_EQ(g.Size(), 2);
+  EXPECT_EQ(g.fds()[0], FunctionalDependency(AttributeSet{1}, AttributeSet{2}));
+  EXPECT_EQ(g.fds()[1], FunctionalDependency(AttributeSet{0}, AttributeSet{1}));
+  EXPECT_NE(f, g);
+  // Removing something absent is a no-op signal.
+  EXPECT_FALSE(
+      g.Remove(FunctionalDependency(AttributeSet{4}, AttributeSet{5})));
+  // RemoveAt erases positionally.
+  g.RemoveAt(0);
+  EXPECT_EQ(g.Size(), 1);
+  EXPECT_EQ(g.fds()[0], FunctionalDependency(AttributeSet{0}, AttributeSet{1}));
+  // operator== is syntactic: same FDs in a different order compare unequal.
+  FdSet ab;
+  ab.Add(AttributeSet{0}, AttributeSet{1});
+  ab.Add(AttributeSet{1}, AttributeSet{2});
+  FdSet ba;
+  ba.Add(AttributeSet{1}, AttributeSet{2});
+  ba.Add(AttributeSet{0}, AttributeSet{1});
+  EXPECT_NE(ab, ba);
+}
+
+TEST(FdSetTest, BoundedClosureEarlyExitAndSupport) {
+  FdSet f;
+  f.Add(AttributeSet{0}, AttributeSet{1});     // 0: A → B
+  f.Add(AttributeSet{1}, AttributeSet{2});     // 1: B → C
+  f.Add(AttributeSet{2}, AttributeSet{3});     // 2: C → D
+  f.Add(AttributeSet{5}, AttributeSet{6});     // 3: F → G (disconnected)
+  // Early exit: asking A → B stops before chasing the chain to D, so only
+  // the first FD fires.
+  std::vector<int> used;
+  EXPECT_TRUE(f.Implies(AttributeSet{0}, AttributeSet{1}, &used));
+  EXPECT_EQ(used, (std::vector<int>{0}));
+  // A → C needs the first two.
+  EXPECT_TRUE(f.Implies(AttributeSet{0}, AttributeSet{2}, &used));
+  EXPECT_EQ(used, (std::vector<int>{0, 1}));
+  // The support is a real certificate: those FDs alone imply the target.
+  FdSet only_support;
+  for (int i : used) only_support.Add(f.fds()[i]);
+  EXPECT_TRUE(only_support.Implies(AttributeSet{0}, AttributeSet{2}));
+  // Target already covered by x: closure returns immediately, no FDs fire.
+  EXPECT_EQ(f.Closure(AttributeSet{0, 2}, AttributeSet{2}, &used),
+            (AttributeSet{0, 2}));
+  EXPECT_TRUE(used.empty());
+  // A miss still computes the honest (full) closure.
+  EXPECT_FALSE(f.Implies(AttributeSet{1}, AttributeSet{0}, &used));
+  EXPECT_EQ(f.Closure(AttributeSet{1}), (AttributeSet{1, 2, 3}));
+}
+
 TEST(FdSetTest, CandidateKeys) {
   // Classic: R(A,B,C) with A → B, B → C: key is {A}.
   FdSet f;

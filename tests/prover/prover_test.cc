@@ -164,12 +164,17 @@ TEST(ProverTest, CounterexampleSharesTheMemo) {
   EXPECT_FALSE(pv.Counterexample(implied).has_value());
   EXPECT_EQ(pv.search_count(), 1);
 
-  // A cached "not implied" stores only the boolean: the model is
-  // re-derived, and that search is counted.
+  // A cached "not implied" stores the falsifying model itself: the
+  // Counterexample call materializes it as a cache hit, no extra search.
   EXPECT_FALSE(pv.Implies(refuted));
   EXPECT_EQ(pv.search_count(), 2);
-  EXPECT_TRUE(pv.Counterexample(refuted).has_value());
-  EXPECT_EQ(pv.search_count(), 3);
+  auto cex = pv.Counterexample(refuted);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(pv.search_count(), 2);
+  EXPECT_EQ(pv.cache_hits(), 2);  // the implied probe above, plus this one
+  // The cached model is a genuine countermexample: satisfies ℳ, breaks dep.
+  EXPECT_TRUE(Satisfies(*cex, pv.deps()));
+  EXPECT_FALSE(Satisfies(*cex, refuted));
 }
 
 TEST(ProverTest, CounterexamplePopulatesTheMemo) {

@@ -1,0 +1,160 @@
+#include "theory/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parser.h"
+#include "fd/fd_set.h"
+
+namespace od {
+namespace theory {
+namespace {
+
+DependencySet Parse(NameTable* names, const std::string& text) {
+  Parser parser(names);
+  auto set = parser.ParseSet(text);
+  EXPECT_TRUE(set.has_value()) << parser.error();
+  return *set;
+}
+
+TEST(TheoryTest, EpochAdvancesOncePerMutation) {
+  Theory th;
+  EXPECT_EQ(th.epoch(), 0u);
+  const ConstraintId c0 = th.Add(AttributeList({0}), AttributeList({1}));
+  EXPECT_EQ(th.epoch(), 1u);
+  const ConstraintId c1 = th.Add(AttributeList({1}), AttributeList({2}));
+  EXPECT_EQ(th.epoch(), 2u);
+  EXPECT_NE(c0, c1);
+  EXPECT_TRUE(th.Remove(c0));
+  EXPECT_EQ(th.epoch(), 3u);
+  // Removing a dead id is a no-op: no epoch advance.
+  EXPECT_FALSE(th.Remove(c0));
+  EXPECT_EQ(th.epoch(), 3u);
+}
+
+TEST(TheoryTest, SeededFromDependencySet) {
+  NameTable names;
+  DependencySet m = Parse(&names, "[a] -> [b]; [b] -> [c]");
+  Theory th(m);
+  EXPECT_EQ(th.Size(), 2);
+  EXPECT_EQ(th.epoch(), 2u);
+  EXPECT_TRUE(th.Contains(m[0]));
+  EXPECT_TRUE(th.Contains(m[1]));
+  EXPECT_EQ(th.deps().ods(), m.ods());
+}
+
+TEST(TheoryTest, IdsNeverReused) {
+  Theory th;
+  const OrderDependency dep(AttributeList({0}), AttributeList({1}));
+  const ConstraintId first = th.Add(dep);
+  th.Remove(first);
+  const ConstraintId second = th.Add(dep);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(th.Find(first).has_value());
+  EXPECT_EQ(*th.Find(second), dep);
+}
+
+TEST(TheoryTest, IncrementalFdProjectionMatchesRecomputation) {
+  NameTable names;
+  Theory th(Parse(&names, "[a] -> [b, c]; [c] -> [a]; [] -> [d]"));
+  EXPECT_EQ(th.fd_projection(), fd::FdProjection(th.deps()));
+  // Churn: drop the middle constraint, add a new one — the projection
+  // tracks, index-aligned, without a rebuild.
+  const ConstraintId middle = th.ids()[1];
+  th.Remove(middle);
+  EXPECT_EQ(th.fd_projection(), fd::FdProjection(th.deps()));
+  th.Add(AttributeList({3}), AttributeList({0, 2}));
+  EXPECT_EQ(th.fd_projection(), fd::FdProjection(th.deps()));
+  // Index alignment invariant: ids/deps/fds stay parallel.
+  ASSERT_EQ(static_cast<int>(th.ids().size()), th.deps().Size());
+  ASSERT_EQ(th.fd_projection().Size(), th.deps().Size());
+  for (int i = 0; i < th.deps().Size(); ++i) {
+    EXPECT_EQ(th.fd_projection().fds()[i].lhs, th.deps()[i].lhs.ToSet());
+    EXPECT_EQ(th.fd_projection().fds()[i].rhs, th.deps()[i].rhs.ToSet());
+  }
+}
+
+TEST(TheoryTest, AttributesShrinkWhenLastMentionRemoved) {
+  Theory th;
+  const ConstraintId c0 = th.Add(AttributeList({0}), AttributeList({1}));
+  const ConstraintId c1 = th.Add(AttributeList({1}), AttributeList({2}));
+  EXPECT_EQ(th.attributes(), AttributeSet({0, 1, 2}));
+  th.Remove(c1);
+  // Attribute 2 had one mention; 1 is still held by c0.
+  EXPECT_EQ(th.attributes(), AttributeSet({0, 1}));
+  th.Remove(c0);
+  EXPECT_TRUE(th.attributes().IsEmpty());
+  EXPECT_EQ(th.attributes(), th.deps().Attributes());
+}
+
+TEST(TheoryTest, RemoveOneMatchesByValue) {
+  Theory th;
+  const OrderDependency dep(AttributeList({0}), AttributeList({1}));
+  const ConstraintId first = th.Add(dep);
+  const ConstraintId second = th.Add(dep);  // duplicate, distinct id
+  EXPECT_EQ(th.RemoveOne(dep), first);
+  EXPECT_EQ(th.Size(), 1);
+  EXPECT_EQ(th.ids()[0], second);
+  EXPECT_EQ(th.RemoveOne(dep), second);
+  EXPECT_EQ(th.RemoveOne(dep), kNoConstraint);
+}
+
+TEST(TheoryTest, ListenersSeeEveryChangeInOrder) {
+  Theory th;
+  std::vector<ChangeEvent> seen;
+  const auto token = th.Subscribe(
+      [&seen](const ChangeEvent& e) { seen.push_back(e); });
+  const OrderDependency dep(AttributeList({0}), AttributeList({1}));
+  const ConstraintId id = th.Add(dep);
+  th.Remove(id);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, ChangeEvent::Kind::kAdd);
+  EXPECT_EQ(seen[0].id, id);
+  EXPECT_EQ(seen[0].od, dep);
+  EXPECT_EQ(seen[0].epoch, 1u);
+  EXPECT_EQ(seen[1].kind, ChangeEvent::Kind::kRemove);
+  EXPECT_EQ(seen[1].id, id);
+  EXPECT_EQ(seen[1].od, dep);
+  EXPECT_EQ(seen[1].epoch, 2u);
+  // After unsubscribing the feed goes quiet.
+  th.Unsubscribe(token);
+  th.Add(dep);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(TheoryTest, ListenerRunsAfterStateIsUpdated) {
+  Theory th;
+  const OrderDependency dep(AttributeList({0}), AttributeList({1}));
+  bool checked = false;
+  th.Subscribe([&](const ChangeEvent& e) {
+    // The event's epoch equals the theory's, and the catalog already
+    // reflects the change when listeners run.
+    EXPECT_EQ(e.epoch, th.epoch());
+    if (e.kind == ChangeEvent::Kind::kAdd) {
+      EXPECT_TRUE(th.Contains(e.od));
+    } else {
+      EXPECT_FALSE(th.Contains(e.od));
+    }
+    checked = true;
+  });
+  const ConstraintId id = th.Add(dep);
+  th.Remove(id);
+  EXPECT_TRUE(checked);
+}
+
+TEST(TheoryTest, IndexOfTracksRemovals) {
+  Theory th;
+  const ConstraintId a = th.Add(AttributeList({0}), AttributeList({1}));
+  const ConstraintId b = th.Add(AttributeList({1}), AttributeList({2}));
+  const ConstraintId c = th.Add(AttributeList({2}), AttributeList({3}));
+  EXPECT_EQ(*th.IndexOf(b), 1);
+  th.Remove(a);
+  EXPECT_EQ(*th.IndexOf(b), 0);
+  EXPECT_EQ(*th.IndexOf(c), 1);
+  EXPECT_FALSE(th.IndexOf(a).has_value());
+}
+
+}  // namespace
+}  // namespace theory
+}  // namespace od
