@@ -41,9 +41,11 @@ Workload& GetWorkload(int64_t rows) {
 
 void BM_SmjWithSorts(benchmark::State& state) {
   Workload& w = GetWorkload(state.range(0));
+  // Genuinely unsorted fact input: SortMergeJoin short-circuits any side
+  // that is already physically sorted (IsSortedBy), so pre-sorted streams
+  // would no longer pay the sort this arm exists to measure.
   for (auto _ : state) {
-    engine::Table joined = engine::SortMergeJoin(w.fact_sorted, 0,
-                                                 w.dim_sorted, 0,
+    engine::Table joined = engine::SortMergeJoin(w.fact, 0, w.dim, 0,
                                                  /*assume_sorted=*/false);
     benchmark::DoNotOptimize(joined);
   }

@@ -40,6 +40,18 @@ class OrderedIndex {
   std::optional<int64_t> MinKeyAtLeast(int64_t lo) const;
   std::optional<int64_t> MaxKeyAtMost(int64_t hi) const;
 
+  // Streaming access (src/exec): positions are 0-based offsets into the
+  // key-sorted permutation, so a scan can gather one batch at a time
+  // instead of materializing the whole key-ordered table up front.
+  int64_t num_rows() const { return static_cast<int64_t>(perm_.size()); }
+  /// Base-table row id at key-order position `pos`.
+  int64_t RowAt(int64_t pos) const { return perm_[pos]; }
+  /// Key-order position half-open range [begin, end) whose leading key
+  /// values lie in [lo, hi].
+  std::pair<int64_t, int64_t> PositionRange(int64_t lo, int64_t hi) const {
+    return {LowerBound(lo), UpperBound(hi)};
+  }
+
  private:
   /// Positions in perm_ of the first key ≥ v / first key > v.
   int64_t LowerBound(int64_t v) const;

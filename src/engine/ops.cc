@@ -32,8 +32,11 @@ void CheckColumns(const Table& t, const std::vector<ColumnId>& cols,
 
 }  // namespace
 
-Table SortBy(const Table& t, const SortSpec& spec) {
-  CheckColumns(t, spec, "SortBy");
+namespace {
+
+/// The unconditional permutation sort behind SortBy, for callers that have
+/// already established the input is NOT sorted (no second IsSortedBy scan).
+Table SortedGather(const Table& t, const SortSpec& spec) {
   std::vector<int64_t> perm(t.num_rows());
   std::iota(perm.begin(), perm.end(), 0);
   std::stable_sort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
@@ -42,6 +45,22 @@ Table SortBy(const Table& t, const SortSpec& spec) {
   Table out = t.Gather(perm);
   out.SetOrdering(spec);
   return out;
+}
+
+}  // namespace
+
+Table SortBy(const Table& t, const SortSpec& spec, bool* was_sorted) {
+  CheckColumns(t, spec, "SortBy");
+  // Already physically sorted: skip the O(n log n) permutation sort and the
+  // gather entirely — an O(n) verification pass is all the order costs.
+  const bool sorted = IsSortedBy(t, spec);
+  if (was_sorted != nullptr) *was_sorted = sorted;
+  if (sorted) {
+    Table out = t;
+    out.SetOrdering(spec);
+    return out;
+  }
+  return SortedGather(t, spec);
 }
 
 bool IsSortedBy(const Table& t, const SortSpec& spec) {
@@ -302,17 +321,28 @@ Table HashJoin(const Table& left, ColumnId left_key, const Table& right,
 
 Table SortMergeJoin(const Table& left, ColumnId left_key, const Table& right,
                     ColumnId right_key, bool assume_sorted,
-                    const std::string& right_prefix) {
+                    const std::string& right_prefix,
+                    int* input_sorts_paid) {
   CheckColumn(left, left_key, "SortMergeJoin (left key)");
   CheckColumn(right, right_key, "SortMergeJoin (right key)");
+  if (input_sorts_paid != nullptr) *input_sorts_paid = 0;
   const Table* lp = &left;
   const Table* rp = &right;
   Table lsorted, rsorted;
   if (!assume_sorted) {
-    lsorted = SortBy(left, {left_key});
-    rsorted = SortBy(right, {right_key});
-    lp = &lsorted;
-    rp = &rsorted;
+    // Sort only the sides that need it: a pre-sorted input (e.g. a stream
+    // an index delivered) is merged in place without paying the sort (or
+    // the copy).
+    if (!IsSortedBy(left, {left_key})) {
+      lsorted = SortedGather(left, {left_key});
+      lp = &lsorted;
+      if (input_sorts_paid != nullptr) ++*input_sorts_paid;
+    }
+    if (!IsSortedBy(right, {right_key})) {
+      rsorted = SortedGather(right, {right_key});
+      rp = &rsorted;
+      if (input_sorts_paid != nullptr) ++*input_sorts_paid;
+    }
   }
   Table out(JoinSchema(*lp, *rp, right_prefix));
   int64_t l = 0, r = 0;

@@ -28,7 +28,12 @@ namespace engine {
 using SortSpec = std::vector<ColumnId>;
 
 /// Stable-sorts `t` by `spec`; the result's ordering property is `spec`.
-Table SortBy(const Table& t, const SortSpec& spec);
+/// Short-circuits via IsSortedBy: an already-sorted input is returned as a
+/// copy with its ordering property set, without paying the sort.
+/// `was_sorted` (optional) reports whether the short-circuit fired, so a
+/// caller classifying the sort as paid vs avoided does not re-scan.
+Table SortBy(const Table& t, const SortSpec& spec,
+             bool* was_sorted = nullptr);
 
 /// Whether `t`'s rows are physically sorted by `spec`.
 bool IsSortedBy(const Table& t, const SortSpec& spec);
@@ -90,10 +95,14 @@ Table HashJoin(const Table& left, ColumnId left_key, const Table& right,
                ColumnId right_key, const std::string& right_prefix = "r_");
 
 /// Sort-merge join. If `assume_sorted` is false the inputs are sorted on
-/// their keys first (the cost the paper's order reasoning avoids).
+/// their keys first (the cost the paper's order reasoning avoids) — but a
+/// side that IsSortedBy its key is merged in place without re-sorting.
+/// `input_sorts_paid` (optional) reports how many input sorts actually ran
+/// (0–2; always 0 under assume_sorted), for paid-vs-avoided accounting.
 Table SortMergeJoin(const Table& left, ColumnId left_key, const Table& right,
                     ColumnId right_key, bool assume_sorted,
-                    const std::string& right_prefix = "r_");
+                    const std::string& right_prefix = "r_",
+                    int* input_sorts_paid = nullptr);
 
 // ---------------------------------------------------------------------------
 // Misc.

@@ -35,6 +35,43 @@ void Column::Append(const Value& v) {
   }
 }
 
+void Column::AppendFrom(const Column& src, int64_t row) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(src.ints_[row]);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(src.doubles_[row]);
+      break;
+    case DataType::kString:
+      strings_.push_back(src.strings_[row]);
+      break;
+  }
+}
+
+void Column::AppendRange(const Column& src, int64_t begin, int64_t end) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin() + begin,
+                   src.ints_.begin() + end);
+      break;
+    case DataType::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + begin,
+                      src.doubles_.begin() + end);
+      break;
+    case DataType::kString:
+      strings_.insert(strings_.end(), src.strings_.begin() + begin,
+                      src.strings_.begin() + end);
+      break;
+  }
+}
+
+void Column::Clear() {
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+}
+
 Value Column::Get(int64_t row) const {
   switch (type_) {
     case DataType::kInt64: return Value(ints_[row]);

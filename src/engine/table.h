@@ -53,6 +53,13 @@ class Column {
   void AppendDouble(double v) { doubles_.push_back(v); }
   void AppendString(std::string v) { strings_.push_back(std::move(v)); }
   void Append(const Value& v);
+  /// Appends `src`'s single row `row` (types must match).
+  void AppendFrom(const Column& src, int64_t row);
+  /// Bulk-appends `src`'s rows [begin, end) — the batch-slicing fast path
+  /// of the streaming executor (one memcpy-ish insert, no per-row switch).
+  void AppendRange(const Column& src, int64_t begin, int64_t end);
+  /// Drops all values but keeps the declared type (batch reuse).
+  void Clear();
 
   int64_t Int(int64_t row) const { return ints_[row]; }
   double Double(int64_t row) const { return doubles_[row]; }

@@ -1,0 +1,158 @@
+#ifndef OD_EXEC_OPERATOR_H_
+#define OD_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "exec/batch.h"
+#include "optimizer/exec_stats.h"
+
+namespace od {
+namespace exec {
+
+/// A pull-based streaming operator producing column-chunk batches.
+///
+/// Contract:
+///  * `Next` returns true and fills `out` with ≥ 1 rows matching `schema()`,
+///    or returns false when the stream is exhausted (and stays false).
+///    Callers own `out` and may reuse it across calls; `Next` clears it.
+///  * `ordering()` is the operator's *ordering property*: the column list
+///    (ids into `schema()`) the emitted row stream is guaranteed sorted by,
+///    empty if unknown. Order-preserving operators carry their input's
+///    property through the pipeline, so a downstream consumer (stream
+///    aggregate, merge join, ORDER BY) can rely on the order without a
+///    materializing sort — the executor-side half of the paper's OD story:
+///    the planner *proves* (via `opt::OrderReasoner`) that a property
+///    satisfies a requirement, and the property is how the proof's premise
+///    travels with the data.
+///  * Operators are single-use iterators: build a fresh tree per execution.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  const engine::Schema& schema() const { return schema_; }
+  const engine::SortSpec& ordering() const { return ordering_; }
+
+  virtual bool Next(Batch* out) = 0;
+  virtual std::string Describe(int indent = 0) const = 0;
+
+ protected:
+  static std::string Pad(int indent) { return std::string(indent * 2, ' '); }
+
+  engine::Schema schema_;
+  engine::SortSpec ordering_;
+};
+
+using OpPtr = std::unique_ptr<Operator>;
+
+// ---------------------------------------------------------------------------
+// Leaf scans. `stats` (nullable) receives rows_scanned / partitions_scanned.
+
+/// Streams `table` in physical row order, `batch_rows` rows per batch.
+/// Carries the table's ordering property.
+OpPtr Scan(const engine::Table* table, opt::ExecStats* stats = nullptr,
+           int64_t batch_rows = kDefaultBatchRows);
+
+/// Streams `index` in key order, optionally restricted to leading-key
+/// values in [range.first, range.second]. Ordering property: the index key.
+OpPtr IndexRangeScan(const engine::OrderedIndex* index,
+                     std::optional<std::pair<int64_t, int64_t>> range =
+                         std::nullopt,
+                     opt::ExecStats* stats = nullptr,
+                     int64_t batch_rows = kDefaultBatchRows);
+
+/// Streams a partitioned table partition-by-partition; with a range,
+/// non-overlapping partitions are pruned (never touched) and rows of the
+/// boundary partitions are filtered to the range.
+OpPtr PartitionedScan(const engine::PartitionedTable* table,
+                      std::optional<std::pair<int64_t, int64_t>> range =
+                          std::nullopt,
+                      opt::ExecStats* stats = nullptr,
+                      int64_t batch_rows = kDefaultBatchRows);
+
+// ---------------------------------------------------------------------------
+// Order-preserving streaming operators.
+
+/// Keeps rows satisfying every predicate; preserves the child's ordering.
+OpPtr Filter(OpPtr child, std::vector<engine::Predicate> preds);
+
+/// Keeps only `cols`, in the given order; the child's ordering property is
+/// remapped onto the surviving columns (cut at the first dropped one).
+OpPtr Project(OpPtr child, std::vector<engine::ColumnId> cols);
+
+/// Streaming GROUP BY. Precondition: rows with equal group keys are
+/// contiguous in the child's stream (the planner proves this via
+/// OrderReasoner::GroupsContiguousUnder). On a non-contiguous input the
+/// operator — like engine::StreamGroupBy — emits one row per maximal run of
+/// equal keys, i.e. a group reappearing later produces a duplicate output
+/// row. Output schema: group columns, then one column per aggregate; output
+/// ordering: the prefix of the child's ordering covered by group columns.
+OpPtr StreamAggregate(OpPtr child, std::vector<engine::ColumnId> group_cols,
+                      std::vector<engine::AggSpec> aggs);
+
+/// Streaming DISTINCT — StreamAggregate with no aggregates; same
+/// contiguity precondition and run-per-group behavior on violation.
+OpPtr StreamDistinct(OpPtr child, std::vector<engine::ColumnId> cols);
+
+/// Streaming merge join on single-column equi-keys of any type (key
+/// comparison goes through engine::Column::Compare, so double keys order by
+/// od::CompareDoubles — all NaNs equal, after every ordered value).
+/// Precondition: both children's streams are sorted by their key; the
+/// planner either proves this from ordering properties or places Sort
+/// enforcers. Output: left columns then right columns (colliding right
+/// names prefixed by `right_prefix`); preserves the left child's ordering.
+OpPtr MergeJoin(OpPtr left, engine::ColumnId left_key, OpPtr right,
+                engine::ColumnId right_key, opt::ExecStats* stats = nullptr,
+                const std::string& right_prefix = "r_");
+
+/// Emits the first `n` rows, then stops pulling from the child (early
+/// exit: upstream batches past the limit are never produced).
+OpPtr Limit(OpPtr child, int64_t n);
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers (consume the whole child before emitting).
+
+/// ORDER BY enforcer. Consumes the child, sorts, streams the result out;
+/// counts stats->sorts — or stats->sorts_elided when the input turned out
+/// to be physically sorted already (engine::SortBy's short-circuit).
+OpPtr Sort(OpPtr child, engine::SortSpec spec,
+           opt::ExecStats* stats = nullptr,
+           int64_t batch_rows = kDefaultBatchRows);
+
+/// ORDER BY + LIMIT k enforcer: keeps only the k smallest rows under
+/// `spec` (O(n log k) selection instead of a full sort), emits them sorted.
+OpPtr TopK(OpPtr child, engine::SortSpec spec, int64_t k,
+           opt::ExecStats* stats = nullptr);
+
+/// Hash GROUP BY: no ordering requirement, no output ordering.
+OpPtr HashAggregate(OpPtr child, std::vector<engine::ColumnId> group_cols,
+                    std::vector<engine::AggSpec> aggs);
+
+/// Hash join: materializes and hashes the right (build) child, then
+/// streams the left (probe) child batch-at-a-time — only the build side
+/// breaks the pipeline. Int64 keys (the star-schema surrogate keys).
+/// Preserves the left child's ordering.
+OpPtr HashJoin(OpPtr left, engine::ColumnId left_key, OpPtr right,
+               engine::ColumnId right_key, opt::ExecStats* stats = nullptr,
+               const std::string& right_prefix = "r_");
+
+// ---------------------------------------------------------------------------
+// Sink.
+
+/// Pulls `op` to exhaustion into a materialized table (whose ordering
+/// property is `op->ordering()`). Fills stats->rows_output / stats->batches
+/// with what the root emitted.
+engine::Table Drain(Operator* op, opt::ExecStats* stats = nullptr);
+
+}  // namespace exec
+}  // namespace od
+
+#endif  // OD_EXEC_OPERATOR_H_

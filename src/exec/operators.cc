@@ -1,0 +1,939 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace od {
+namespace exec {
+
+namespace {
+
+using engine::AggSpec;
+using engine::ColumnId;
+using engine::DataType;
+using engine::Predicate;
+using engine::Schema;
+using engine::SortSpec;
+using engine::Table;
+
+/// Same contract as the engine operators: ColumnId arguments are validated
+/// once at operator construction (catching Schema::Find's -1), per-row
+/// accessors stay unchecked.
+void CheckColumn(const Schema& s, ColumnId c, const char* op) {
+  if (c < 0 || c >= s.num_columns()) {
+    throw std::out_of_range(std::string(op) + ": column id " +
+                            std::to_string(c) + " out of range [0, " +
+                            std::to_string(s.num_columns()) + ")");
+  }
+}
+
+void CheckColumns(const Schema& s, const std::vector<ColumnId>& cols,
+                  const char* op) {
+  for (ColumnId c : cols) CheckColumn(s, c, op);
+}
+
+std::string SpecString(const SortSpec& spec) {
+  std::string out = "[";
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(spec[i]);
+  }
+  return out + "]";
+}
+
+/// Output schema of a join: left columns, then right columns with
+/// colliding names prefixed (mirrors engine::HashJoin/SortMergeJoin).
+Schema JoinSchema(const Schema& left, const Schema& right,
+                  const std::string& right_prefix) {
+  Schema out;
+  for (int c = 0; c < left.num_columns(); ++c) {
+    out.Add(left.col(c).name, left.col(c).type);
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    std::string name = right.col(c).name;
+    if (out.Find(name) >= 0) name = right_prefix + name;
+    out.Add(name, right.col(c).type);
+  }
+  return out;
+}
+
+Schema AggOutputSchema(const Schema& in, const std::vector<ColumnId>& groups,
+                       const std::vector<AggSpec>& aggs) {
+  Schema out;
+  for (ColumnId c : groups) out.Add(in.col(c).name, in.col(c).type);
+  for (const auto& a : aggs) {
+    out.Add(a.out_name, a.kind == AggSpec::Kind::kCount ? DataType::kInt64
+                                                        : DataType::kDouble);
+  }
+  return out;
+}
+
+/// Aggregate accumulator (the engine's, restated for batch streams).
+struct Acc {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  bool has = false;
+
+  void Add(double v) {
+    ++count;
+    sum += v;
+    if (!has || v < min) min = v;
+    if (!has || v > max) max = v;
+    has = true;
+  }
+  void AddCountOnly() { ++count; }
+
+  double Result(AggSpec::Kind kind) const {
+    switch (kind) {
+      case AggSpec::Kind::kCount: return static_cast<double>(count);
+      case AggSpec::Kind::kSum: return sum;
+      case AggSpec::Kind::kMin: return min;
+      case AggSpec::Kind::kMax: return max;
+      case AggSpec::Kind::kAvg: return count == 0 ? 0 : sum / count;
+    }
+    return 0;
+  }
+};
+
+bool MatchesBatch(const Predicate& p, const Batch& b, int64_t row) {
+  const Value v = b.col(p.col).Get(row);
+  switch (p.op) {
+    case Predicate::Op::kEq: return v == p.lo;
+    case Predicate::Op::kLt: return v < p.lo;
+    case Predicate::Op::kLe: return v <= p.lo;
+    case Predicate::Op::kGt: return v > p.lo;
+    case Predicate::Op::kGe: return v >= p.lo;
+    case Predicate::Op::kBetween: return p.lo <= v && v <= p.hi;
+  }
+  return false;
+}
+
+/// Shared base: operators clear (or lazily type) the caller's batch before
+/// filling it. A batch is meant to be reused against one operator; the
+/// column-count guard re-types it when a caller switches operators.
+class OperatorBase : public Operator {
+ protected:
+  void PrepareBatch(Batch* out) const {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+  }
+};
+
+/// Emits [pos, pos + batch_rows) of a materialized table and advances pos.
+/// The slice helper behind Scan and every pipeline breaker's emit phase.
+bool EmitTableSlice(const Table& t, int64_t* pos, int64_t batch_rows,
+                    Batch* out) {
+  if (*pos >= t.num_rows()) return false;
+  const int64_t end = std::min(t.num_rows(), *pos + batch_rows);
+  for (int c = 0; c < t.num_columns(); ++c) {
+    out->col(c).AppendRange(t.col(c), *pos, end);
+  }
+  out->SetRowCount(end - *pos);
+  *pos = end;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Scans.
+
+class ScanOp : public OperatorBase {
+ public:
+  ScanOp(const Table* table, opt::ExecStats* stats, int64_t batch_rows)
+      : table_(table), stats_(stats), batch_rows_(batch_rows) {
+    schema_ = table->schema();
+    ordering_ = table->ordering();
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!EmitTableSlice(*table_, &pos_, batch_rows_, out)) return false;
+    if (stats_ != nullptr) stats_->rows_scanned += out->num_rows();
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Scan (" + std::to_string(table_->num_rows()) +
+           " rows, batch " + std::to_string(batch_rows_) + ")\n";
+  }
+
+ private:
+  const Table* table_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  int64_t pos_ = 0;
+};
+
+class IndexRangeScanOp : public OperatorBase {
+ public:
+  IndexRangeScanOp(const engine::OrderedIndex* index,
+                   std::optional<std::pair<int64_t, int64_t>> range,
+                   opt::ExecStats* stats, int64_t batch_rows)
+      : index_(index), range_(range), stats_(stats), batch_rows_(batch_rows) {
+    schema_ = index->table().schema();
+    ordering_ = index->key();
+    if (range.has_value()) {
+      std::tie(pos_, end_) = index->PositionRange(range->first, range->second);
+    } else {
+      pos_ = 0;
+      end_ = index->num_rows();
+    }
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (pos_ >= end_) return false;
+    const int64_t stop = std::min(end_, pos_ + batch_rows_);
+    const Table& t = index_->table();
+    for (int c = 0; c < t.num_columns(); ++c) {
+      for (int64_t p = pos_; p < stop; ++p) {
+        out->col(c).AppendFrom(t.col(c), index_->RowAt(p));
+      }
+    }
+    out->SetRowCount(stop - pos_);
+    pos_ = stop;
+    if (stats_ != nullptr) stats_->rows_scanned += out->num_rows();
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    std::string out = Pad(indent) + "IndexRangeScan";
+    if (range_.has_value()) {
+      out += " range=[" + std::to_string(range_->first) + ", " +
+             std::to_string(range_->second) + "]";
+    }
+    out += " ordering=" + SpecString(ordering_) + "\n";
+    return out;
+  }
+
+ private:
+  const engine::OrderedIndex* index_;
+  std::optional<std::pair<int64_t, int64_t>> range_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  int64_t pos_ = 0;
+  int64_t end_ = 0;
+};
+
+class PartitionedScanOp : public OperatorBase {
+ public:
+  PartitionedScanOp(const engine::PartitionedTable* table,
+                    std::optional<std::pair<int64_t, int64_t>> range,
+                    opt::ExecStats* stats, int64_t batch_rows)
+      : table_(table), range_(range), stats_(stats), batch_rows_(batch_rows) {
+    schema_ = table->num_partitions() > 0 ? table->partition(0).schema()
+                                          : Schema();
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    while (part_ < table_->num_partitions()) {
+      if (range_.has_value() &&
+          (table_->range(part_).second < range_->first ||
+           range_->second < table_->range(part_).first)) {
+        ++part_;  // pruned: never touched
+        row_ = 0;
+        continue;
+      }
+      const Table& p = table_->partition(part_);
+      if (row_ == 0 && p.num_rows() > 0 && stats_ != nullptr) {
+        ++stats_->partitions_scanned;
+      }
+      if (!range_.has_value()) {
+        if (EmitTableSlice(p, &row_, batch_rows_, out)) {
+          if (stats_ != nullptr) stats_->rows_scanned += out->num_rows();
+          return true;
+        }
+      } else {
+        // Boundary partitions: stream rows, filtering to the value range.
+        const engine::Column& key = p.col(table_->partition_column());
+        while (row_ < p.num_rows() && out->num_rows() < batch_rows_) {
+          const int64_t v = key.Int(row_);
+          if (stats_ != nullptr) ++stats_->rows_scanned;
+          if (range_->first <= v && v <= range_->second) {
+            for (int c = 0; c < p.num_columns(); ++c) {
+              out->col(c).AppendFrom(p.col(c), row_);
+            }
+            out->FinishRow();
+          }
+          ++row_;
+        }
+        if (out->num_rows() >= batch_rows_) return true;
+        if (row_ < p.num_rows()) continue;  // batch full mid-partition
+      }
+      ++part_;
+      row_ = 0;
+    }
+    return out->num_rows() > 0;
+  }
+
+  std::string Describe(int indent) const override {
+    std::string out = Pad(indent) + "PartitionedScan";
+    if (range_.has_value()) {
+      out += " pruned-to=[" + std::to_string(range_->first) + ", " +
+             std::to_string(range_->second) + "] (" +
+             std::to_string(
+                 table_->CountOverlapping(range_->first, range_->second)) +
+             "/" + std::to_string(table_->num_partitions()) + " partitions)";
+    } else {
+      out += " all-partitions (" + std::to_string(table_->num_partitions()) +
+             ")";
+    }
+    out += "\n";
+    return out;
+  }
+
+ private:
+  const engine::PartitionedTable* table_;
+  std::optional<std::pair<int64_t, int64_t>> range_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  int part_ = 0;
+  int64_t row_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Order-preserving streaming operators.
+
+class FilterOp : public OperatorBase {
+ public:
+  FilterOp(OpPtr child, std::vector<Predicate> preds)
+      : child_(std::move(child)), preds_(std::move(preds)) {
+    schema_ = child_->schema();
+    ordering_ = child_->ordering();
+    for (const auto& p : preds_) CheckColumn(schema_, p.col, "exec::Filter");
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    while (out->empty()) {
+      if (!child_->Next(&scratch_)) return false;
+      for (int64_t r = 0; r < scratch_.num_rows(); ++r) {
+        bool ok = true;
+        for (const auto& p : preds_) {
+          if (!MatchesBatch(p, scratch_, r)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out->AppendRows(scratch_, r, r + 1);
+      }
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Filter (" + std::to_string(preds_.size()) +
+           " predicates)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<Predicate> preds_;
+  Batch scratch_;
+};
+
+class ProjectOp : public OperatorBase {
+ public:
+  ProjectOp(OpPtr child, std::vector<ColumnId> cols)
+      : child_(std::move(child)), cols_(std::move(cols)) {
+    CheckColumns(child_->schema(), cols_, "exec::Project");
+    for (ColumnId c : cols_) {
+      schema_.Add(child_->schema().col(c).name, child_->schema().col(c).type);
+    }
+    // The child's ordering survives as far as its columns survive, remapped
+    // to output positions; cut at the first projected-away column.
+    for (ColumnId c : child_->ordering()) {
+      int pos = -1;
+      for (size_t i = 0; i < cols_.size(); ++i) {
+        if (cols_[i] == c) pos = static_cast<int>(i);
+      }
+      if (pos < 0) break;
+      ordering_.push_back(pos);
+    }
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!child_->Next(&scratch_)) return false;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      out->col(static_cast<int>(i))
+          .AppendRange(scratch_.col(cols_[i]), 0, scratch_.num_rows());
+    }
+    out->SetRowCount(scratch_.num_rows());
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Project " + SpecString(cols_) + "\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<ColumnId> cols_;
+  Batch scratch_;
+};
+
+class StreamAggregateOp : public OperatorBase {
+ public:
+  StreamAggregateOp(OpPtr child, std::vector<ColumnId> group_cols,
+                    std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)),
+        accs_(aggs_.size()) {
+    CheckColumns(child_->schema(), group_cols_, "exec::StreamAggregate");
+    for (const auto& a : aggs_) {
+      if (a.kind != AggSpec::Kind::kCount) {
+        CheckColumn(child_->schema(), a.col, "exec::StreamAggregate");
+      }
+    }
+    schema_ = AggOutputSchema(child_->schema(), group_cols_, aggs_);
+    rep_.Reset(child_->schema());
+    // Output stays sorted by whatever prefix of the child's ordering the
+    // group columns cover (mirrors engine::StreamGroupBy).
+    for (ColumnId c : child_->ordering()) {
+      int pos = -1;
+      for (size_t i = 0; i < group_cols_.size(); ++i) {
+        if (group_cols_[i] == c) pos = static_cast<int>(i);
+      }
+      if (pos < 0) break;
+      ordering_.push_back(pos);
+    }
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (done_) return false;
+    while (out->empty()) {
+      if (!child_->Next(&scratch_)) {
+        done_ = true;
+        if (has_group_) EmitGroup(out);
+        return !out->empty();
+      }
+      for (int64_t r = 0; r < scratch_.num_rows(); ++r) {
+        if (has_group_ &&
+            Batch::CompareRows(rep_, 0, scratch_, r, group_cols_) != 0) {
+          EmitGroup(out);
+        }
+        if (!has_group_) {
+          rep_.Clear();
+          rep_.AppendRows(scratch_, r, r + 1);
+          has_group_ = true;
+        }
+        for (size_t i = 0; i < aggs_.size(); ++i) {
+          if (aggs_[i].kind == AggSpec::Kind::kCount) {
+            accs_[i].AddCountOnly();
+          } else {
+            accs_[i].Add(scratch_.col(aggs_[i].col).Numeric(r));
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "StreamAggregate groups=" + SpecString(group_cols_) +
+           " (order-exploiting)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  void EmitGroup(Batch* out) {
+    int c = 0;
+    for (ColumnId g : group_cols_) {
+      out->col(c++).AppendFrom(rep_.col(g), 0);
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (aggs_[i].kind == AggSpec::Kind::kCount) {
+        out->col(c++).AppendInt(accs_[i].count);
+      } else {
+        out->col(c++).AppendDouble(accs_[i].Result(aggs_[i].kind));
+      }
+    }
+    out->FinishRow();
+    accs_.assign(aggs_.size(), Acc());
+    has_group_ = false;
+  }
+
+  OpPtr child_;
+  std::vector<ColumnId> group_cols_;
+  std::vector<AggSpec> aggs_;
+  std::vector<Acc> accs_;
+  Batch scratch_;
+  Batch rep_;  // one row: the current group's representative
+  bool has_group_ = false;
+  bool done_ = false;
+};
+
+/// Cursor over a child's batch stream: current row addressing + refill.
+struct Cursor {
+  Operator* op = nullptr;
+  Batch batch;
+  int64_t pos = 0;
+  bool done = false;
+
+  /// Positions the cursor on a valid row, refilling from the child as
+  /// needed. False once the stream is exhausted.
+  bool Ensure() {
+    while (!done && pos >= batch.num_rows()) {
+      pos = 0;
+      if (!op->Next(&batch)) done = true;
+    }
+    return !done;
+  }
+  void Advance() { ++pos; }
+};
+
+class MergeJoinOp : public OperatorBase {
+ public:
+  MergeJoinOp(OpPtr left, ColumnId left_key, OpPtr right, ColumnId right_key,
+              opt::ExecStats* stats, const std::string& right_prefix)
+      : left_hold_(std::move(left)),
+        right_hold_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key),
+        stats_(stats) {
+    CheckColumn(left_hold_->schema(), left_key_, "exec::MergeJoin (left key)");
+    CheckColumn(right_hold_->schema(), right_key_,
+                "exec::MergeJoin (right key)");
+    schema_ =
+        JoinSchema(left_hold_->schema(), right_hold_->schema(), right_prefix);
+    // Rows stream out in left order; the precondition guarantees that order
+    // includes the key even when the left carries no declared property.
+    ordering_ = left_hold_->ordering().empty() ? SortSpec{left_key_}
+                                               : left_hold_->ordering();
+    left_.op = left_hold_.get();
+    right_.op = right_hold_.get();
+    run_.Reset(right_hold_->schema());
+    left_cols_ = left_hold_->schema().num_columns();
+    if (stats_ != nullptr) ++stats_->joins;
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    while (out->num_rows() < kDefaultBatchRows) {
+      if (run_active_) {
+        EmitRun(out);
+        continue;
+      }
+      if (!left_.Ensure() || !right_.Ensure()) break;
+      const int cmp = left_.batch.col(left_key_)
+                          .Compare(left_.pos, right_.batch.col(right_key_),
+                                   right_.pos);
+      if (cmp < 0) {
+        left_.Advance();
+      } else if (cmp > 0) {
+        right_.Advance();
+      } else {
+        StartRun();
+      }
+    }
+    return out->num_rows() > 0;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "MergeJoin keys=(" + std::to_string(left_key_) +
+           ", " + std::to_string(right_key_) + ") (streaming)\n" +
+           left_hold_->Describe(indent + 1) +
+           right_hold_->Describe(indent + 1);
+  }
+
+ private:
+  /// Buffers the right side's maximal equal-key run (it may straddle batch
+  /// boundaries) so it can be replayed against every matching left row.
+  void StartRun() {
+    run_.Clear();
+    run_.AppendRows(right_.batch, right_.pos, right_.pos + 1);
+    right_.Advance();
+    while (right_.Ensure() &&
+           right_.batch.col(right_key_)
+                   .Compare(right_.pos, run_.col(right_key_), 0) == 0) {
+      run_.AppendRows(right_.batch, right_.pos, right_.pos + 1);
+      right_.Advance();
+    }
+    run_active_ = true;
+  }
+
+  /// Emits (left row × buffered run) for every left row still equal to the
+  /// run key, pausing (run stays active) when the output batch fills.
+  void EmitRun(Batch* out) {
+    while (left_.Ensure() &&
+           left_.batch.col(left_key_).Compare(left_.pos, run_.col(right_key_),
+                                              0) == 0) {
+      for (int64_t rr = 0; rr < run_.num_rows(); ++rr) {
+        for (int c = 0; c < left_cols_; ++c) {
+          out->col(c).AppendFrom(left_.batch.col(c), left_.pos);
+        }
+        for (int c = 0; c < run_.num_columns(); ++c) {
+          out->col(left_cols_ + c).AppendFrom(run_.col(c), rr);
+        }
+        out->FinishRow();
+      }
+      if (stats_ != nullptr) stats_->rows_joined += run_.num_rows();
+      left_.Advance();
+      if (out->num_rows() >= kDefaultBatchRows) return;
+    }
+    run_active_ = false;
+  }
+
+  OpPtr left_hold_;
+  OpPtr right_hold_;
+  ColumnId left_key_;
+  ColumnId right_key_;
+  opt::ExecStats* stats_;
+  Cursor left_;
+  Cursor right_;
+  Batch run_;  // buffered right-side equal-key run
+  bool run_active_ = false;
+  int left_cols_ = 0;
+};
+
+class LimitOp : public OperatorBase {
+ public:
+  LimitOp(OpPtr child, int64_t n)
+      : child_(std::move(child)), n_(n), remaining_(n) {
+    schema_ = child_->schema();
+    ordering_ = child_->ordering();
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (remaining_ <= 0) return false;  // never pulls the child again
+    if (!child_->Next(&scratch_)) {
+      remaining_ = 0;
+      return false;
+    }
+    const int64_t take = std::min(remaining_, scratch_.num_rows());
+    out->AppendRows(scratch_, 0, take);
+    remaining_ -= take;
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Limit " + std::to_string(n_) + "\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  int64_t n_;
+  int64_t remaining_;
+  Batch scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline breakers. Each consumes its child via Drain(child, nullptr)
+// (no output-side stats: rows_output/batches describe the pipeline root).
+
+class SortOp : public OperatorBase {
+ public:
+  SortOp(OpPtr child, SortSpec spec, opt::ExecStats* stats,
+         int64_t batch_rows)
+      : child_(std::move(child)),
+        spec_(std::move(spec)),
+        stats_(stats),
+        batch_rows_(batch_rows) {
+    CheckColumns(child_->schema(), spec_, "exec::Sort");
+    schema_ = child_->schema();
+    ordering_ = spec_;
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!sorted_ready_) {
+      Table in = Drain(child_.get(), nullptr);
+      bool was_sorted = false;
+      sorted_ = engine::SortBy(in, spec_, &was_sorted);
+      if (stats_ != nullptr) {
+        if (was_sorted) {
+          ++stats_->sorts_elided;  // runtime short-circuit: already sorted
+        } else {
+          ++stats_->sorts;
+        }
+      }
+      sorted_ready_ = true;
+    }
+    return EmitTableSlice(sorted_, &pos_, batch_rows_, out);
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Sort by " + SpecString(spec_) +
+           " (pipeline breaker)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  SortSpec spec_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  Table sorted_;
+  bool sorted_ready_ = false;
+  int64_t pos_ = 0;
+};
+
+class TopKOp : public OperatorBase {
+ public:
+  TopKOp(OpPtr child, SortSpec spec, int64_t k, opt::ExecStats* stats)
+      : child_(std::move(child)), spec_(std::move(spec)), k_(k),
+        stats_(stats) {
+    CheckColumns(child_->schema(), spec_, "exec::TopK");
+    schema_ = child_->schema();
+    ordering_ = spec_;
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!ready_) {
+      Table in = Drain(child_.get(), nullptr);
+      std::vector<int64_t> perm(in.num_rows());
+      std::iota(perm.begin(), perm.end(), 0);
+      const int64_t k = std::min<int64_t>(k_, in.num_rows());
+      // O(n log k) selection of the k smallest rows, emitted sorted —
+      // cheaper than the full sort an ORDER BY ... LIMIT would imply.
+      std::partial_sort(perm.begin(), perm.begin() + k, perm.end(),
+                        [&](int64_t a, int64_t b) {
+                          return in.CompareRows(a, b, spec_) < 0;
+                        });
+      perm.resize(k);
+      top_ = in.Gather(perm);
+      top_.SetOrdering(spec_);
+      if (stats_ != nullptr) ++stats_->sorts;  // the enforcer was paid
+      ready_ = true;
+    }
+    return EmitTableSlice(top_, &pos_, kDefaultBatchRows, out);
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "TopK " + std::to_string(k_) + " by " +
+           SpecString(spec_) + "\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  SortSpec spec_;
+  int64_t k_;
+  opt::ExecStats* stats_;
+  Table top_;
+  bool ready_ = false;
+  int64_t pos_ = 0;
+};
+
+class HashAggregateOp : public OperatorBase {
+ public:
+  HashAggregateOp(OpPtr child, std::vector<ColumnId> group_cols,
+                  std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)) {
+    CheckColumns(child_->schema(), group_cols_, "exec::HashAggregate");
+    for (const auto& a : aggs_) {
+      if (a.kind != AggSpec::Kind::kCount) {
+        CheckColumn(child_->schema(), a.col, "exec::HashAggregate");
+      }
+    }
+    schema_ = AggOutputSchema(child_->schema(), group_cols_, aggs_);
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!ready_) {
+      Table in = Drain(child_.get(), nullptr);
+      result_ = engine::HashGroupBy(in, group_cols_, aggs_);
+      ready_ = true;
+    }
+    return EmitTableSlice(result_, &pos_, kDefaultBatchRows, out);
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "HashAggregate groups=" + SpecString(group_cols_) +
+           " (pipeline breaker)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  std::vector<ColumnId> group_cols_;
+  std::vector<AggSpec> aggs_;
+  Table result_;
+  bool ready_ = false;
+  int64_t pos_ = 0;
+};
+
+class HashJoinOp : public OperatorBase {
+ public:
+  HashJoinOp(OpPtr left, ColumnId left_key, OpPtr right, ColumnId right_key,
+             opt::ExecStats* stats, const std::string& right_prefix)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key),
+        stats_(stats) {
+    CheckColumn(left_->schema(), left_key_, "exec::HashJoin (left key)");
+    CheckColumn(right_->schema(), right_key_, "exec::HashJoin (right key)");
+    // The build table and probe loop read keys through the unchecked
+    // int64 accessor; reject other key types up front instead of reading
+    // out of bounds.
+    if (left_->schema().col(left_key_).type != DataType::kInt64 ||
+        right_->schema().col(right_key_).type != DataType::kInt64) {
+      throw std::invalid_argument(
+          "exec::HashJoin: join keys must be int64 columns (use MergeJoin "
+          "for other key types)");
+    }
+    schema_ = JoinSchema(left_->schema(), right_->schema(), right_prefix);
+    ordering_ = left_->ordering();  // probe preserves left row order
+    left_cols_ = left_->schema().num_columns();
+    if (stats_ != nullptr) ++stats_->joins;
+  }
+
+  bool Next(Batch* out) override {
+    PrepareBatch(out);
+    if (!built_) {
+      build_ = Drain(right_.get(), nullptr);
+      table_.reserve(build_.num_rows());
+      for (int64_t r = 0; r < build_.num_rows(); ++r) {
+        table_.emplace(build_.col(right_key_).Int(r), r);
+      }
+      built_ = true;
+    }
+    while (out->empty()) {
+      if (!left_->Next(&scratch_)) return false;
+      for (int64_t l = 0; l < scratch_.num_rows(); ++l) {
+        auto [begin, end] =
+            table_.equal_range(scratch_.col(left_key_).Int(l));
+        for (auto it = begin; it != end; ++it) {
+          for (int c = 0; c < left_cols_; ++c) {
+            out->col(c).AppendFrom(scratch_.col(c), l);
+          }
+          for (int c = 0; c < build_.num_columns(); ++c) {
+            out->col(left_cols_ + c).AppendFrom(build_.col(c), it->second);
+          }
+          out->FinishRow();
+          if (stats_ != nullptr) ++stats_->rows_joined;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "HashJoin keys=(" + std::to_string(left_key_) +
+           ", " + std::to_string(right_key_) + ") (build right)\n" +
+           left_->Describe(indent + 1) + right_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr left_;
+  OpPtr right_;
+  ColumnId left_key_;
+  ColumnId right_key_;
+  opt::ExecStats* stats_;
+  Table build_;
+  std::unordered_multimap<int64_t, int64_t> table_;
+  bool built_ = false;
+  int left_cols_ = 0;
+  Batch scratch_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factories.
+
+OpPtr Scan(const Table* table, opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<ScanOp>(table, stats, batch_rows);
+}
+
+OpPtr IndexRangeScan(const engine::OrderedIndex* index,
+                     std::optional<std::pair<int64_t, int64_t>> range,
+                     opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<IndexRangeScanOp>(index, range, stats, batch_rows);
+}
+
+OpPtr PartitionedScan(const engine::PartitionedTable* table,
+                      std::optional<std::pair<int64_t, int64_t>> range,
+                      opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<PartitionedScanOp>(table, range, stats, batch_rows);
+}
+
+OpPtr Filter(OpPtr child, std::vector<Predicate> preds) {
+  return std::make_unique<FilterOp>(std::move(child), std::move(preds));
+}
+
+OpPtr Project(OpPtr child, std::vector<ColumnId> cols) {
+  return std::make_unique<ProjectOp>(std::move(child), std::move(cols));
+}
+
+OpPtr StreamAggregate(OpPtr child, std::vector<ColumnId> group_cols,
+                      std::vector<AggSpec> aggs) {
+  return std::make_unique<StreamAggregateOp>(
+      std::move(child), std::move(group_cols), std::move(aggs));
+}
+
+OpPtr StreamDistinct(OpPtr child, std::vector<ColumnId> cols) {
+  return StreamAggregate(std::move(child), std::move(cols), {});
+}
+
+OpPtr MergeJoin(OpPtr left, ColumnId left_key, OpPtr right,
+                ColumnId right_key, opt::ExecStats* stats,
+                const std::string& right_prefix) {
+  return std::make_unique<MergeJoinOp>(std::move(left), left_key,
+                                       std::move(right), right_key, stats,
+                                       right_prefix);
+}
+
+OpPtr Limit(OpPtr child, int64_t n) {
+  return std::make_unique<LimitOp>(std::move(child), n);
+}
+
+OpPtr Sort(OpPtr child, SortSpec spec, opt::ExecStats* stats,
+           int64_t batch_rows) {
+  return std::make_unique<SortOp>(std::move(child), std::move(spec), stats,
+                                  batch_rows);
+}
+
+OpPtr TopK(OpPtr child, SortSpec spec, int64_t k, opt::ExecStats* stats) {
+  return std::make_unique<TopKOp>(std::move(child), std::move(spec), k,
+                                  stats);
+}
+
+OpPtr HashAggregate(OpPtr child, std::vector<ColumnId> group_cols,
+                    std::vector<AggSpec> aggs) {
+  return std::make_unique<HashAggregateOp>(std::move(child),
+                                           std::move(group_cols),
+                                           std::move(aggs));
+}
+
+OpPtr HashJoin(OpPtr left, ColumnId left_key, OpPtr right,
+               ColumnId right_key, opt::ExecStats* stats,
+               const std::string& right_prefix) {
+  return std::make_unique<HashJoinOp>(std::move(left), left_key,
+                                      std::move(right), right_key, stats,
+                                      right_prefix);
+}
+
+engine::Table Drain(Operator* op, opt::ExecStats* stats) {
+  Table out(op->schema());
+  Batch batch;
+  while (op->Next(&batch)) {
+    for (int c = 0; c < out.num_columns(); ++c) {
+      out.col(c).AppendRange(batch.col(c), 0, batch.num_rows());
+    }
+    out.SetRowCount(out.num_rows() + batch.num_rows());
+    if (stats != nullptr) {
+      ++stats->batches;
+      stats->rows_output += batch.num_rows();
+    }
+  }
+  out.SetOrdering(op->ordering());
+  return out;
+}
+
+}  // namespace exec
+}  // namespace od

@@ -1,0 +1,21 @@
+#include "optimizer/exec_stats.h"
+
+namespace od {
+namespace opt {
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "rows_scanned=" + std::to_string(rows_scanned);
+  out += " rows_joined=" + std::to_string(rows_joined);
+  out += " rows_output=" + std::to_string(rows_output);
+  out += " batches=" + std::to_string(batches);
+  out += " sorts=" + std::to_string(sorts);
+  out += " sorts_elided=" + std::to_string(sorts_elided);
+  out += " joins=" + std::to_string(joins);
+  out += " joins_elided=" + std::to_string(joins_elided);
+  out += " partitions_scanned=" + std::to_string(partitions_scanned);
+  return out;
+}
+
+}  // namespace opt
+}  // namespace od

@@ -1,0 +1,40 @@
+#ifndef OD_OPTIMIZER_EXEC_STATS_H_
+#define OD_OPTIMIZER_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace od {
+namespace opt {
+
+/// Counters the benches and tests assert on: plan-shape differences (sorts
+/// avoided, joins removed, partitions pruned) show up here independently of
+/// wall-clock noise. Shared by the materializing `PlanNode` tree and the
+/// streaming executor (`src/exec`), which additionally fills the
+/// rows_output / batches stream counters.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_joined = 0;
+  /// Rows emitted by the root of the pipeline (filled by exec::Drain and
+  /// PhysicalPlan::Execute; the materializing nodes leave it zero).
+  int64_t rows_output = 0;
+  /// Batches emitted by the root of the pipeline.
+  int64_t batches = 0;
+  int sorts = 0;
+  /// Sort enforcers that were *not* paid: either proven unnecessary by OD
+  /// reasoning at plan time, or short-circuited at runtime because the
+  /// input was already physically sorted (IsSortedBy).
+  int sorts_elided = 0;
+  int joins = 0;
+  /// Joins removed entirely, e.g. by the surrogate-key date rewrite.
+  int joins_elided = 0;
+  int partitions_scanned = 0;
+
+  /// One-line rendering used by benches and EXPLAIN output.
+  std::string ToString() const;
+};
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_EXEC_STATS_H_

@@ -11,20 +11,10 @@
 #include "engine/ops.h"
 #include "engine/partition.h"
 #include "engine/table.h"
+#include "optimizer/exec_stats.h"
 
 namespace od {
 namespace opt {
-
-/// Counters the benches and tests assert on: plan-shape differences (sorts
-/// avoided, joins removed, partitions pruned) show up here independently of
-/// wall-clock noise.
-struct ExecStats {
-  int64_t rows_scanned = 0;
-  int64_t rows_joined = 0;
-  int sorts = 0;
-  int joins = 0;
-  int partitions_scanned = 0;
-};
 
 /// A physical plan node. Execution materializes bottom-up; Describe prints
 /// an EXPLAIN-style tree.

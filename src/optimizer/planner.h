@@ -1,0 +1,177 @@
+#ifndef OD_OPTIMIZER_PLANNER_H_
+#define OD_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+#include "exec/operator.h"
+#include "optimizer/exec_stats.h"
+#include "optimizer/order_property.h"
+#include "optimizer/plan.h"
+#include "theory/theory.h"
+
+namespace od {
+namespace opt {
+
+/// Cost model of the streaming executor: every constant is "abstract work
+/// units per row" for one operator. The absolute scale is meaningless; only
+/// ratios matter, and they are calibrated against the engine's measured
+/// per-row costs (see docs/exec.md for the calibration procedure —
+/// essentially: run bench_exec's single-operator micros and set each
+/// constant proportional to its ns/row).
+struct CostModel {
+  double scan_row = 1.0;        ///< stream a row out of a sequential scan
+  double index_row = 2.0;       ///< gather a row through an index permutation
+  double filter_term = 0.3;     ///< evaluate one predicate on one row
+  double project_row = 0.2;     ///< copy one row through a projection
+  double sort_row_log = 0.7;    ///< per row per log2(n) of a sort enforcer
+  double stream_agg_row = 1.2;  ///< accumulate one row, groups contiguous
+  double hash_agg_row = 3.0;    ///< hash + accumulate one row
+  double merge_row = 1.5;       ///< advance one merge-join input row
+  double hash_build_row = 3.5;  ///< insert one row into a join hash table
+  double hash_probe_row = 1.8;  ///< probe one row against it
+  double output_row = 0.5;      ///< emit one join/agg output row
+  /// Selectivity guesses when no index can answer exactly.
+  double eq_selectivity = 0.1;
+  double range_selectivity = 0.3;
+
+  double SortCost(double rows) const;
+  double TopKCost(double rows, double k) const;
+};
+
+/// One table of a logical query plus its physical access paths and its
+/// prescribed constraints. The planner consults the theory through an
+/// `OrderReasoner` to prove enforcers unnecessary; a null theory means "no
+/// ODs declared" (only trivially true order facts hold).
+struct TableRef {
+  std::string name;
+  const engine::Table* table = nullptr;
+  const engine::OrderedIndex* index = nullptr;              // optional
+  const engine::PartitionedTable* partitions = nullptr;     // optional
+  std::shared_ptr<theory::Theory> ods;                      // optional
+  /// Column this table's surrogate join key is declared order-equivalent
+  /// to (e.g. d_date for d_date_sk) — enables the Section 2.3 join
+  /// elimination when the equivalence is *proven* from `ods`.
+  engine::ColumnId natural_order_col = -1;
+};
+
+/// An equi-join of the driving table (tables[0]) with tables[right_table].
+struct JoinClause {
+  int right_table = 1;
+  engine::ColumnId left_col = 0;   ///< driving-table column
+  engine::ColumnId right_col = 0;  ///< right-table column
+};
+
+/// A logical query over a small star: SELECT <group cols>, <aggs> FROM
+/// tables[0] JOIN ... WHERE <filters> GROUP BY <group_cols> ORDER BY
+/// <order_by> LIMIT <limit>. Group, aggregate, and order-by columns are
+/// driving-table column ids (they keep their ids through left-deep joins).
+/// With aggregation, order_by must be a subset of group_cols.
+struct LogicalQuery {
+  std::string name;
+  std::vector<TableRef> tables;  ///< 1..3 entries; [0] is the driving table
+  std::vector<JoinClause> joins;
+  std::vector<std::vector<engine::Predicate>> filters;  ///< per table
+  std::vector<engine::ColumnId> group_cols;
+  std::vector<engine::AggSpec> aggs;
+  engine::SortSpec order_by;
+  int64_t limit = -1;  ///< -1 = no limit
+};
+
+/// A node of the chosen physical plan: operator kind + arguments + planner
+/// annotations (estimated rows/cost, proven output ordering, proof notes).
+struct PhysicalNode {
+  enum class Kind {
+    kScan,
+    kIndexScan,
+    kPartitionedScan,
+    kFilter,
+    kProject,
+    kSort,
+    kTopK,
+    kLimit,
+    kStreamAgg,
+    kHashAgg,
+    kMergeJoin,
+    kHashJoin,
+  };
+
+  Kind kind;
+  std::vector<std::unique_ptr<PhysicalNode>> children;
+  int table_index = -1;  ///< for scans
+  std::optional<std::pair<int64_t, int64_t>> range;
+  std::vector<engine::Predicate> preds;
+  engine::SortSpec spec;  ///< sort spec / projection columns
+  std::vector<engine::ColumnId> group_cols;
+  std::vector<engine::AggSpec> aggs;
+  engine::ColumnId left_key = -1;
+  engine::ColumnId right_key = -1;
+  int64_t limit = 0;
+
+  double est_rows = 0;
+  double est_cost = 0;  ///< cumulative (this node + children)
+  engine::SortSpec out_ordering;
+  std::string note;  ///< e.g. the OD proof that elided an enforcer
+
+  /// Filled during Execute by per-node counting wrappers; -1 = not run.
+  mutable int64_t actual_rows = -1;
+};
+
+/// The cheapest physical plan for a logical query. Compile() instantiates
+/// a fresh streaming operator tree (operators are single-use); Execute()
+/// compiles, drains, and folds the plan-time enforcer elisions into the
+/// stats; Explain() renders the EXPLAIN tree with estimated — and, after
+/// an Execute, actual — row counts per node. Execute records per-node
+/// actuals into this plan, so a plan should not be executed concurrently
+/// with itself.
+class PhysicalPlan {
+ public:
+  PhysicalPlan() = default;
+
+  const PhysicalNode& root() const { return *root_; }
+  double est_cost() const { return root_ == nullptr ? 0 : root_->est_cost; }
+  int sorts_elided() const { return sorts_elided_; }
+  int joins_elided() const { return joins_elided_; }
+  /// Human-readable OD proofs behind each elided enforcer.
+  const std::vector<std::string>& proofs() const { return proofs_; }
+
+  exec::OpPtr Compile(ExecStats* stats) const;
+  engine::Table Execute(ExecStats* stats) const;
+  std::string Explain() const;
+
+  /// Bridges to the materializing PlanNode tree (the pre-exec engine) for
+  /// apples-to-apples comparisons; nullptr when the plan uses an operator
+  /// with no materializing counterpart (Limit/TopK).
+  PlanPtr ToMaterializingPlan() const;
+
+ private:
+  friend PhysicalPlan PlanQuery(const LogicalQuery&, const CostModel&);
+
+  std::unique_ptr<PhysicalNode> root_;
+  std::vector<TableRef> tables_;  // pointers the compiled operators read
+  int sorts_elided_ = 0;
+  int joins_elided_ = 0;
+  std::vector<std::string> proofs_;
+};
+
+/// Enumerates physical alternatives for `q` — scan choice per table, join
+/// order (left-deep, driving table leftmost), stream-vs-hash aggregation
+/// and join, enforcer placement, and the Section 2.3 surrogate-key join
+/// elimination — proving enforcers unnecessary via each table's
+/// OrderReasoner wherever the declared ODs allow, and returns the cheapest
+/// plan under `cost`. Throws std::invalid_argument on malformed queries.
+PhysicalPlan PlanQuery(const LogicalQuery& q,
+                       const CostModel& cost = CostModel());
+
+}  // namespace opt
+}  // namespace od
+
+#endif  // OD_OPTIMIZER_PLANNER_H_

@@ -74,5 +74,66 @@ std::vector<opt::DateRangeQuery> TpcdsDateQueries(int start_year,
   return queries;
 }
 
+opt::LogicalQuery ToLogicalQuery(const opt::DateRangeQuery& q,
+                                 const engine::Table* fact,
+                                 const engine::Table* dim,
+                                 const engine::OrderedIndex* fact_sk_index,
+                                 const engine::PartitionedTable* fact_parts,
+                                 std::shared_ptr<theory::Theory> dim_ods) {
+  const DateDimColumns d;
+  opt::LogicalQuery lq;
+  lq.name = q.name;
+  lq.tables.push_back(
+      opt::TableRef{"store_sales", fact, fact_sk_index, fact_parts,
+                    /*ods=*/nullptr, /*natural_order_col=*/-1});
+  lq.tables.push_back(opt::TableRef{"date_dim", dim, /*index=*/nullptr,
+                                    /*partitions=*/nullptr,
+                                    std::move(dim_ods),
+                                    /*natural_order_col=*/d.d_date});
+  lq.joins.push_back(opt::JoinClause{1, q.fact_date_sk, q.dim_date_sk});
+  lq.filters = {{}, q.dim_predicates};
+  lq.group_cols = q.fact_group_cols;
+  lq.aggs = q.fact_aggs;
+  return lq;
+}
+
+opt::LogicalQuery DailySalesQuery(const engine::Table* fact,
+                                  const engine::Table* dim,
+                                  const engine::OrderedIndex* fact_sk_index,
+                                  const engine::PartitionedTable* fact_parts,
+                                  std::shared_ptr<theory::Theory> dim_ods,
+                                  int year) {
+  const DateDimColumns d;
+  const StoreSalesColumns f;
+  opt::DateRangeQuery q;
+  q.name = "daily_sales_" + std::to_string(year);
+  q.dim_predicates = {engine::Predicate{
+      d.d_year, engine::Predicate::Op::kEq, Value(int64_t{year})}};
+  q.fact_date_sk = f.ss_sold_date_sk;
+  q.dim_date_sk = d.d_date_sk;
+  q.fact_group_cols = {f.ss_sold_date_sk};
+  q.fact_aggs = {
+      {engine::AggSpec::Kind::kSum, f.ss_net_paid, "sum_net_paid"},
+      {engine::AggSpec::Kind::kCount, 0, "cnt"}};
+  opt::LogicalQuery lq = ToLogicalQuery(q, fact, dim, fact_sk_index,
+                                        fact_parts, std::move(dim_ods));
+  lq.order_by = {f.ss_sold_date_sk};
+  return lq;
+}
+
+opt::LogicalQuery TaxOrderByQuery(const engine::Table* taxes,
+                                  const engine::OrderedIndex* income_index,
+                                  std::shared_ptr<theory::Theory> tax_ods) {
+  const TaxColumns t;
+  opt::LogicalQuery lq;
+  lq.name = "tax_order_by_bracket_tax";
+  lq.tables.push_back(opt::TableRef{"taxes", taxes, income_index,
+                                    /*partitions=*/nullptr,
+                                    std::move(tax_ods),
+                                    /*natural_order_col=*/-1});
+  lq.order_by = {t.bracket, t.tax};
+  return lq;
+}
+
 }  // namespace warehouse
 }  // namespace od

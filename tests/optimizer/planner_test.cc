@@ -1,0 +1,323 @@
+// The cost-based physical planner: enforcer elision must be *proven* (OD
+// reasoning), every chosen plan must agree with the naive materializing
+// plan, and the order-aware warehouse queries must execute with zero sorts
+// when the ODs hold.
+
+#include "optimizer/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/index.h"
+#include "engine/ops.h"
+#include "engine/partition.h"
+#include "optimizer/date_rewrite.h"
+#include "theory/theory.h"
+#include "warehouse/date_dim.h"
+#include "warehouse/queries.h"
+#include "warehouse/star_schema.h"
+#include "warehouse/tax_schedule.h"
+
+namespace od {
+namespace opt {
+namespace {
+
+using engine::AggSpec;
+using engine::DataType;
+using engine::Predicate;
+using engine::Schema;
+using engine::Table;
+
+bool ExplainMentions(const PhysicalPlan& plan, const std::string& token) {
+  return plan.Explain().find(token) != std::string::npos;
+}
+
+class TaxPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    taxes_ = warehouse::GenerateTaxTable(/*num_rows=*/20000,
+                                         /*max_income=*/250000, /*seed=*/7);
+    index_ = std::make_unique<engine::OrderedIndex>(
+        &taxes_, engine::SortSpec{warehouse::TaxColumns().income});
+  }
+  Table taxes_;
+  std::unique_ptr<engine::OrderedIndex> index_;
+};
+
+TEST_F(TaxPlannerTest, OdsElideTheOrderBySort) {
+  const warehouse::TaxColumns t;
+  auto ods = std::make_shared<theory::Theory>(warehouse::TaxOds());
+  LogicalQuery q = warehouse::TaxOrderByQuery(&taxes_, index_.get(), ods);
+  PhysicalPlan plan = PlanQuery(q);
+  // The income-ordered index stream provably satisfies ORDER BY bracket,
+  // tax ([income] ↦ [bracket, tax] by Union): no Sort node anywhere.
+  EXPECT_FALSE(ExplainMentions(plan, "Sort"));
+  EXPECT_TRUE(ExplainMentions(plan, "IndexRangeScan"));
+  EXPECT_GE(plan.sorts_elided(), 1);
+  ASSERT_FALSE(plan.proofs().empty());
+
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.sorts, 0);
+  EXPECT_GE(stats.sorts_elided, 1);
+  EXPECT_EQ(out.num_rows(), taxes_.num_rows());
+  EXPECT_TRUE(engine::IsSortedBy(out, {t.bracket, t.tax}));
+  EXPECT_TRUE(engine::SameRowMultiset(taxes_, out));
+}
+
+TEST_F(TaxPlannerTest, WithoutOdsThePlanSorts) {
+  const warehouse::TaxColumns t;
+  LogicalQuery q =
+      warehouse::TaxOrderByQuery(&taxes_, index_.get(), /*tax_ods=*/nullptr);
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_TRUE(ExplainMentions(plan, "Sort"));
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.sorts, 1);
+  EXPECT_TRUE(engine::IsSortedBy(out, {t.bracket, t.tax}));
+  EXPECT_TRUE(engine::SameRowMultiset(taxes_, out));
+}
+
+TEST_F(TaxPlannerTest, ExplainShowsEstimatedAndActualRows) {
+  auto ods = std::make_shared<theory::Theory>(warehouse::TaxOds());
+  LogicalQuery q = warehouse::TaxOrderByQuery(&taxes_, index_.get(), ods);
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_TRUE(ExplainMentions(plan, "est_rows"));
+  EXPECT_TRUE(ExplainMentions(plan, "est_cost"));
+  EXPECT_FALSE(ExplainMentions(plan, "actual_rows"));
+  ExecStats stats;
+  plan.Execute(&stats);
+  EXPECT_TRUE(ExplainMentions(plan, "actual_rows=20000"));
+}
+
+TEST_F(TaxPlannerTest, TopKUnderLimit) {
+  const warehouse::TaxColumns t;
+  LogicalQuery q =
+      warehouse::TaxOrderByQuery(&taxes_, index_.get(), /*tax_ods=*/nullptr);
+  q.tables[0].index = nullptr;  // force a plain scan: sort genuinely needed
+  q.limit = 50;
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_TRUE(ExplainMentions(plan, "TopK"));
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  ASSERT_EQ(out.num_rows(), 50);
+  EXPECT_TRUE(engine::IsSortedBy(out, {t.bracket, t.tax}));
+  // Agrees with the full sort's first 50 rows on the key columns.
+  Table full = engine::SortBy(taxes_, {t.bracket, t.tax});
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out.col(t.bracket).Int(i), full.col(t.bracket).Int(i));
+  }
+}
+
+class DatePlannerTest : public ::testing::Test {
+ protected:
+  static constexpr int kStartYear = 1998;
+  static constexpr int kYears = 4;
+  void SetUp() override {
+    dim_ = warehouse::GenerateDateDim(kStartYear, kYears);
+    const int64_t first_sk = dim_.col(0).Int(0);
+    fact_ = warehouse::GenerateStoreSales(/*num_rows=*/30000, first_sk,
+                                          dim_.num_rows(), /*num_items=*/50,
+                                          /*num_stores=*/10, /*seed=*/42);
+    index_ = std::make_unique<engine::OrderedIndex>(&fact_,
+                                                    engine::SortSpec{0});
+    parts_ = std::make_unique<engine::PartitionedTable>(
+        engine::PartitionedTable::PartitionByRange(fact_, 0, 16));
+    dim_ods_ = std::make_shared<theory::Theory>(warehouse::DateDimOds());
+  }
+  Table dim_, fact_;
+  std::unique_ptr<engine::OrderedIndex> index_;
+  std::unique_ptr<engine::PartitionedTable> parts_;
+  std::shared_ptr<theory::Theory> dim_ods_;
+};
+
+TEST_F(DatePlannerTest, DailySalesElidesJoinSortAndHash) {
+  LogicalQuery q = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), dim_ods_, kStartYear + 1);
+  PhysicalPlan plan = PlanQuery(q);
+  // The OD-aware plan: surrogate-range index scan (join elided), stream
+  // aggregate (contiguity proven), no sort (order provided).
+  EXPECT_EQ(plan.joins_elided(), 1);
+  EXPECT_GE(plan.sorts_elided(), 2);  // stream agg + ORDER BY
+  EXPECT_TRUE(ExplainMentions(plan, "StreamAggregate"));
+  EXPECT_FALSE(ExplainMentions(plan, "Sort"));
+  EXPECT_FALSE(ExplainMentions(plan, "Join"));
+
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.sorts, 0);
+  EXPECT_EQ(stats.joins, 0);
+  EXPECT_EQ(stats.joins_elided, 1);
+  EXPECT_TRUE(engine::IsSortedBy(out, {0}));
+  EXPECT_EQ(out.num_rows(), 365);  // 1999: one output row per day
+
+  // Same answer as the naive materializing join plan.
+  const warehouse::DateDimColumns d;
+  const warehouse::StoreSalesColumns f;
+  DateRangeQuery ref;
+  ref.name = q.name;
+  ref.dim_predicates = q.filters[1];
+  ref.fact_date_sk = f.ss_sold_date_sk;
+  ref.dim_date_sk = d.d_date_sk;
+  ref.fact_group_cols = q.group_cols;
+  ref.fact_aggs = q.aggs;
+  ExecStats ref_stats;
+  Table baseline = BuildBaselinePlan(&fact_, &dim_, ref)->Execute(&ref_stats);
+  EXPECT_TRUE(engine::SameRowMultiset(baseline, out));
+  EXPECT_EQ(ref_stats.joins, 1);  // the baseline really paid the join
+}
+
+TEST_F(DatePlannerTest, WithoutOdsTheJoinStays) {
+  LogicalQuery q = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), /*dim_ods=*/nullptr,
+      kStartYear + 1);
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_EQ(plan.joins_elided(), 0);
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.joins, 1);
+  EXPECT_TRUE(engine::IsSortedBy(out, {0}));
+
+  // Same rows as the OD-aware plan.
+  LogicalQuery q2 = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), dim_ods_, kStartYear + 1);
+  ExecStats stats2;
+  Table od_out = PlanQuery(q2).Execute(&stats2);
+  EXPECT_TRUE(engine::SameRowMultiset(od_out, out));
+}
+
+TEST_F(DatePlannerTest, AllThirteenQueriesAgreeWithBaseline) {
+  const auto queries = warehouse::TpcdsDateQueries(kStartYear, kYears);
+  ASSERT_EQ(queries.size(), 13u);
+  for (const auto& dq : queries) {
+    LogicalQuery q = warehouse::ToLogicalQuery(
+        dq, &fact_, &dim_, index_.get(), parts_.get(), dim_ods_);
+    PhysicalPlan plan = PlanQuery(q);
+    ExecStats stats;
+    Table out = plan.Execute(&stats);
+    ExecStats ref_stats;
+    Table baseline =
+        BuildBaselinePlan(&fact_, &dim_, dq)->Execute(&ref_stats);
+    EXPECT_TRUE(engine::SameRowMultiset(baseline, out)) << dq.name;
+    // The surrogate-key OD eliminates the join on every rewritable query.
+    EXPECT_EQ(stats.joins, 0) << dq.name;
+    EXPECT_EQ(stats.joins_elided, 1) << dq.name;
+    EXPECT_LT(stats.rows_scanned, ref_stats.rows_scanned) << dq.name;
+  }
+}
+
+TEST_F(DatePlannerTest, KeptJoinPrefersMergeWhenOrderIsProvided) {
+  // No dim predicates ⇒ the join cannot be elided; with the fact index
+  // stream providing the key order, merge join beats hash join and the
+  // fact-side sort is proven unnecessary.
+  const warehouse::StoreSalesColumns f;
+  const warehouse::DateDimColumns d;
+  LogicalQuery q;
+  q.name = "all_days_daily";
+  q.tables.push_back(TableRef{"store_sales", &fact_, index_.get(), nullptr,
+                              nullptr, -1});
+  q.tables.push_back(
+      TableRef{"date_dim", &dim_, nullptr, nullptr, dim_ods_, d.d_date});
+  q.joins.push_back(JoinClause{1, f.ss_sold_date_sk, d.d_date_sk});
+  q.group_cols = {f.ss_sold_date_sk};
+  q.aggs = {{AggSpec::Kind::kSum, f.ss_net_paid, "sum_net"}};
+  q.order_by = {f.ss_sold_date_sk};
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_TRUE(ExplainMentions(plan, "MergeJoin"));
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.joins, 1);
+  EXPECT_EQ(stats.sorts, 0);  // fact side proven; dim side already sorted
+  EXPECT_TRUE(engine::IsSortedBy(out, {0}));
+  EXPECT_EQ(out.num_rows(), dim_.num_rows());
+}
+
+TEST_F(DatePlannerTest, PartitionPruningWithoutIndex) {
+  LogicalQuery q = warehouse::DailySalesQuery(
+      &fact_, &dim_, /*fact_sk_index=*/nullptr, parts_.get(), dim_ods_,
+      kStartYear + 1);
+  PhysicalPlan plan = PlanQuery(q);
+  EXPECT_TRUE(ExplainMentions(plan, "PartitionedScan"));
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.joins, 0);
+  EXPECT_LT(stats.partitions_scanned, 16);
+  EXPECT_TRUE(engine::IsSortedBy(out, {0}));
+}
+
+TEST_F(DatePlannerTest, MaterializingBridgeAgrees) {
+  LogicalQuery q = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), dim_ods_, kStartYear);
+  PhysicalPlan plan = PlanQuery(q);
+  PlanPtr bridge = plan.ToMaterializingPlan();
+  ASSERT_NE(bridge, nullptr);
+  ExecStats s1, s2;
+  Table streaming = plan.Execute(&s1);
+  Table materializing = bridge->Execute(&s2);
+  EXPECT_TRUE(engine::SameRowMultiset(streaming, materializing));
+}
+
+TEST(PlannerValidationTest, MalformedQueriesThrow) {
+  Schema s;
+  s.Add("a", DataType::kInt64);
+  Table t(s);
+  t.AppendRow({Value(1)});
+
+  LogicalQuery empty;
+  EXPECT_THROW(PlanQuery(empty), std::invalid_argument);
+
+  LogicalQuery null_table;
+  null_table.tables.push_back(TableRef{"t", nullptr});
+  EXPECT_THROW(PlanQuery(null_table), std::invalid_argument);
+
+  LogicalQuery bad_join;
+  bad_join.tables.push_back(TableRef{"t", &t});
+  bad_join.joins.push_back(JoinClause{2, 0, 0});
+  EXPECT_THROW(PlanQuery(bad_join), std::invalid_argument);
+
+  LogicalQuery bad_order;
+  bad_order.tables.push_back(TableRef{"t", &t});
+  bad_order.group_cols = {0};
+  bad_order.aggs = {{AggSpec::Kind::kCount, 0, "c"}};
+  bad_order.order_by = {1};  // not a group column
+  EXPECT_THROW(PlanQuery(bad_order), std::invalid_argument);
+}
+
+TEST(PlannerThreeTableTest, StarJoinOverItemAndStore) {
+  warehouse::StoreSalesColumns f;
+  Table dim = warehouse::GenerateDateDim(2000, 2);
+  Table fact = warehouse::GenerateStoreSales(
+      5000, dim.col(0).Int(0), dim.num_rows(), /*num_items=*/20,
+      /*num_stores=*/5, /*seed=*/11);
+  Table items = warehouse::GenerateItems(20, 3);
+  Table stores = warehouse::GenerateStores(5, 4);
+
+  LogicalQuery q;
+  q.name = "fact_items_stores";
+  q.tables.push_back(TableRef{"store_sales", &fact});
+  q.tables.push_back(TableRef{"item", &items});
+  q.tables.push_back(TableRef{"store", &stores});
+  q.joins.push_back(JoinClause{1, f.ss_item_sk, 0});
+  q.joins.push_back(JoinClause{2, f.ss_store_sk, 0});
+  q.group_cols = {f.ss_store_sk};
+  q.aggs = {{AggSpec::Kind::kSum, f.ss_net_paid, "sum_net"},
+            {AggSpec::Kind::kCount, 0, "cnt"}};
+  PhysicalPlan plan = PlanQuery(q);
+  ExecStats stats;
+  Table out = plan.Execute(&stats);
+  EXPECT_EQ(stats.joins, 2);
+
+  // Reference: materializing hash joins + hash aggregation.
+  Table j1 = engine::HashJoin(fact, f.ss_item_sk, items, 0);
+  Table j2 = engine::HashJoin(j1, f.ss_store_sk, stores, 0);
+  Table ref = engine::HashGroupBy(
+      j2, {f.ss_store_sk},
+      {{AggSpec::Kind::kSum, f.ss_net_paid, "sum_net"},
+       {AggSpec::Kind::kCount, 0, "cnt"}});
+  EXPECT_TRUE(engine::SameRowMultiset(ref, out));
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace od
