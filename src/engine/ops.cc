@@ -120,8 +120,11 @@ struct Acc {
   void Add(double v) {
     ++count;
     sum += v;
-    if (!has || v < min) min = v;
-    if (!has || v > max) max = v;
+    // CompareDoubles, not raw `<`: NaN must order totally (ties with NaN,
+    // after every value) or min/max stop being associative — the streaming
+    // executor and the parallel accumulator merge restate this rule.
+    if (!has || CompareDoubles(v, min) < 0) min = v;
+    if (!has || CompareDoubles(v, max) > 0) max = v;
     has = true;
   }
   void AddCountOnly() { ++count; }

@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/ops.h"
+#include "exec/operator.h"
+#include "exec/spill.h"
+
+namespace od {
+namespace exec {
+
+namespace {
+
+using engine::Schema;
+using engine::SortSpec;
+using engine::Table;
+
+std::string SpecStr(const SortSpec& spec) {
+  std::string out = "[";
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(spec[i]);
+  }
+  return out + "]";
+}
+
+/// Whether `spec` is a literal prefix of `ordering` — rows sorted by
+/// `ordering` are then sorted by `spec` too (full sort elision).
+bool IsPrefixOf(const SortSpec& spec, const SortSpec& ordering) {
+  if (spec.size() > ordering.size()) return false;
+  return std::equal(spec.begin(), spec.end(), ordering.begin());
+}
+
+/// One participant of the k-way merge: either a spilled run streamed back
+/// chunk-at-a-time, or the final in-memory run sliced lazily. Holds exactly
+/// one chunk at a time, so the merge's footprint is O(runs · chunk).
+struct RunCursor {
+  std::unique_ptr<RunReader> reader;  // spilled run
+  const Table* mem = nullptr;         // in-memory run
+  int64_t mem_pos = 0;
+  int64_t chunk_rows = 0;
+  Batch cur;
+  int64_t row = 0;
+
+  bool Refill() {
+    row = 0;
+    if (reader != nullptr) return reader->NextChunk(&cur);
+    if (mem == nullptr || mem_pos >= mem->num_rows()) return false;
+    const int64_t end =
+        std::min(mem->num_rows(), mem_pos + chunk_rows);
+    if (cur.num_columns() == mem->num_columns()) {
+      cur.Clear();
+    } else {
+      cur.Reset(mem->schema());
+    }
+    for (int c = 0; c < mem->num_columns(); ++c) {
+      cur.col(c).AppendRange(mem->col(c), mem_pos, end);
+    }
+    cur.SetRowCount(end - mem_pos);
+    mem_pos = end;
+    return true;
+  }
+
+  /// Moves to the next row; false when the run is exhausted.
+  bool Advance() {
+    if (++row < cur.num_rows()) return true;
+    return Refill();
+  }
+};
+
+class ExternalSortOp : public Operator {
+ public:
+  ExternalSortOp(OpPtr child, SortSpec spec, SortOptions options,
+                 opt::ExecStats* stats, int64_t batch_rows)
+      : child_(std::move(child)),
+        spec_(std::move(spec)),
+        options_(options),
+        stats_(stats),
+        batch_rows_(batch_rows) {
+    for (engine::ColumnId c : spec_) {
+      if (c < 0 || c >= child_->schema().num_columns()) {
+        throw std::out_of_range("exec::ExternalSort: column id " +
+                                std::to_string(c) + " out of range");
+      }
+    }
+    schema_ = child_->schema();
+    ordering_ = spec_;
+    // Full elision: the child's proven ordering property already covers
+    // the requirement — stream through, no buffering, no runs, no spill.
+    passthrough_ = IsPrefixOf(spec_, child_->ordering());
+  }
+
+  bool Next(Batch* out) override {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+    if (passthrough_) {
+      if (!claimed_) {
+        child_->StartConsume("exec::ExternalSort");
+        claimed_ = true;
+        if (stats_ != nullptr) ++stats_->sorts_elided;
+      }
+      return child_->Next(out);
+    }
+    if (!ready_) BuildRuns();
+    if (cursors_.empty()) {
+      // Single in-memory run: emit it directly, no merge machinery.
+      if (pos_ >= final_run_.num_rows()) return false;
+      const int64_t end =
+          std::min(final_run_.num_rows(), pos_ + batch_rows_);
+      for (int c = 0; c < final_run_.num_columns(); ++c) {
+        out->col(c).AppendRange(final_run_.col(c), pos_, end);
+      }
+      out->SetRowCount(end - pos_);
+      pos_ = end;
+      return true;
+    }
+    return NextMerged(out);
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "ExternalSort by " + SpecStr(spec_) + " budget=" +
+           std::to_string(options_.memory_budget_rows) +
+           " (pipeline breaker)\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  void BuildRuns() {
+    child_->StartConsume("exec::ExternalSort");
+    claimed_ = true;
+    // Budget 0 would make zero-row runs; one row per run is the floor that
+    // still guarantees progress (and maximal spill pressure in tests).
+    const int64_t budget = options_.memory_budget_rows < 0
+                               ? -1
+                               : std::max<int64_t>(1,
+                                                   options_.memory_budget_rows);
+    Table run(schema_);
+    Batch batch;
+    bool any_sorted = false;
+    while (child_->Next(&batch)) {
+      int64_t taken = 0;
+      while (taken < batch.num_rows()) {
+        int64_t take = batch.num_rows() - taken;
+        if (budget >= 0) {
+          take = std::min(take, budget - run.num_rows());
+        }
+        for (int c = 0; c < run.num_columns(); ++c) {
+          run.col(c).AppendRange(batch.col(c), taken, taken + take);
+        }
+        run.SetRowCount(run.num_rows() + take);
+        taken += take;
+        if (budget >= 0 && run.num_rows() >= budget &&
+            taken < batch.num_rows()) {
+          SpillRun(&run, &any_sorted);
+        }
+      }
+      if (budget >= 0 && run.num_rows() >= budget) SpillRun(&run, &any_sorted);
+    }
+    // The final run stays in memory — sorted like the spilled ones. Run
+    // elision: a run arriving physically sorted (e.g. morsels of an
+    // OD-proven ordered scan) skips its sort inside SortBy.
+    bool was_sorted = false;
+    final_run_ = engine::SortBy(run, spec_, &was_sorted);
+    any_sorted |= !was_sorted;
+    if (stats_ != nullptr) {
+      if (any_sorted) {
+        ++stats_->sorts;
+      } else {
+        ++stats_->sorts_elided;
+      }
+    }
+    if (!files_.empty()) {
+      cursors_.resize(files_.size() + 1);
+      for (size_t i = 0; i < files_.size(); ++i) {
+        cursors_[i].reader = std::make_unique<RunReader>(files_[i]);
+      }
+      RunCursor& last = cursors_.back();
+      last.mem = &final_run_;
+      last.chunk_rows = batch_rows_;
+      for (size_t i = 0; i < cursors_.size(); ++i) {
+        if (cursors_[i].Refill()) heap_.push(static_cast<int>(i));
+      }
+    }
+    ready_ = true;
+  }
+
+  void SpillRun(Table* run, bool* any_sorted) {
+    if (run->num_rows() == 0) return;
+    bool was_sorted = false;
+    Table sorted = engine::SortBy(*run, spec_, &was_sorted);
+    *any_sorted |= !was_sorted;
+    files_.emplace_back(options_.temp_dir);
+    WriteRun(sorted, files_.back(), batch_rows_);
+    if (stats_ != nullptr) {
+      ++stats_->spills;
+      stats_->spilled_rows += sorted.num_rows();
+    }
+    *run = Table(schema_);
+  }
+
+  bool NextMerged(Batch* out) {
+    if (heap_.empty()) return false;
+    while (out->num_rows() < batch_rows_ && !heap_.empty()) {
+      const int i = heap_.top();
+      heap_.pop();
+      RunCursor& c = cursors_[i];
+      out->AppendRows(c.cur, c.row, c.row + 1);
+      if (c.Advance()) heap_.push(i);
+    }
+    return out->num_rows() > 0;
+  }
+
+  // Heap comparator: smallest row first; ties broken by run index, which —
+  // with stable per-run sorts and runs cut in input order — reproduces the
+  // exact row order of a single stable in-memory sort.
+  struct HeapCmp {
+    const ExternalSortOp* op;
+    bool operator()(int a, int b) const {
+      const RunCursor& ca = op->cursors_[a];
+      const RunCursor& cb = op->cursors_[b];
+      const int cmp =
+          Batch::CompareRows(ca.cur, ca.row, cb.cur, cb.row, op->spec_);
+      if (cmp != 0) return cmp > 0;  // min-heap via "greater"
+      return a > b;
+    }
+  };
+
+  OpPtr child_;
+  SortSpec spec_;
+  SortOptions options_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  bool passthrough_ = false;
+  bool claimed_ = false;
+  bool ready_ = false;
+  std::vector<SpillFile> files_;
+  Table final_run_;
+  int64_t pos_ = 0;
+  std::vector<RunCursor> cursors_;
+  std::priority_queue<int, std::vector<int>, HeapCmp> heap_{HeapCmp{this}};
+};
+
+}  // namespace
+
+OpPtr ExternalSort(OpPtr child, engine::SortSpec spec, SortOptions options,
+                   opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<ExternalSortOp>(std::move(child), std::move(spec),
+                                          options, stats, batch_rows);
+}
+
+}  // namespace exec
+}  // namespace od

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,11 @@ namespace exec {
 ///    satisfies a requirement, and the property is how the proof's premise
 ///    travels with the data.
 ///  * Operators are single-use iterators: build a fresh tree per execution.
+///    The contract is *enforced* at the sink: every draining consumer
+///    (exec::Drain, the exchange operators' worker drains) claims the
+///    operator via `StartConsume`, which throws std::logic_error on a
+///    second claim — re-draining an exhausted tree would otherwise return
+///    an empty result silently.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -44,11 +50,27 @@ class Operator {
   virtual bool Next(Batch* out) = 0;
   virtual std::string Describe(int indent = 0) const = 0;
 
+  /// Claims this operator for one full consumption. Called by Drain (and
+  /// any other sink that pulls to exhaustion); throws std::logic_error if
+  /// the operator was already claimed — the single-use contract made loud.
+  void StartConsume(const char* who) {
+    if (consumed_) {
+      throw std::logic_error(std::string(who) +
+                             ": operator already consumed (exec operators "
+                             "are single-use; build a fresh tree)");
+    }
+    consumed_ = true;
+  }
+  bool consumed() const { return consumed_; }
+
  protected:
   static std::string Pad(int indent) { return std::string(indent * 2, ' '); }
 
   engine::Schema schema_;
   engine::SortSpec ordering_;
+
+ private:
+  bool consumed_ = false;
 };
 
 using OpPtr = std::unique_ptr<Operator>;
@@ -61,6 +83,13 @@ using OpPtr = std::unique_ptr<Operator>;
 OpPtr Scan(const engine::Table* table, opt::ExecStats* stats = nullptr,
            int64_t batch_rows = kDefaultBatchRows);
 
+/// Streams rows [row_begin, row_end) of `table` — one morsel of a
+/// partition-parallel scan. A contiguous slice inherits the table's
+/// ordering property.
+OpPtr ScanRange(const engine::Table* table, int64_t row_begin,
+                int64_t row_end, opt::ExecStats* stats = nullptr,
+                int64_t batch_rows = kDefaultBatchRows);
+
 /// Streams `index` in key order, optionally restricted to leading-key
 /// values in [range.first, range.second]. Ordering property: the index key.
 OpPtr IndexRangeScan(const engine::OrderedIndex* index,
@@ -69,14 +98,24 @@ OpPtr IndexRangeScan(const engine::OrderedIndex* index,
                      opt::ExecStats* stats = nullptr,
                      int64_t batch_rows = kDefaultBatchRows);
 
+/// Streams index positions [pos_begin, pos_end) in key order — one morsel
+/// of a parallel ordered scan. Ordering property: the index key (each
+/// contiguous position slice is sorted by it).
+OpPtr IndexPositionScan(const engine::OrderedIndex* index, int64_t pos_begin,
+                        int64_t pos_end, opt::ExecStats* stats = nullptr,
+                        int64_t batch_rows = kDefaultBatchRows);
+
 /// Streams a partitioned table partition-by-partition; with a range,
 /// non-overlapping partitions are pruned (never touched) and rows of the
-/// boundary partitions are filtered to the range.
+/// boundary partitions are filtered to the range. `part_begin`/`part_end`
+/// (-1 = all) restrict the scan to a subrange of partition indices — the
+/// morsel unit of a partition-parallel scan.
 OpPtr PartitionedScan(const engine::PartitionedTable* table,
                       std::optional<std::pair<int64_t, int64_t>> range =
                           std::nullopt,
                       opt::ExecStats* stats = nullptr,
-                      int64_t batch_rows = kDefaultBatchRows);
+                      int64_t batch_rows = kDefaultBatchRows,
+                      int part_begin = -1, int part_end = -1);
 
 // ---------------------------------------------------------------------------
 // Order-preserving streaming operators.
@@ -132,6 +171,32 @@ OpPtr Sort(OpPtr child, engine::SortSpec spec,
 OpPtr TopK(OpPtr child, engine::SortSpec spec, int64_t k,
            opt::ExecStats* stats = nullptr);
 
+/// Knobs of the out-of-core sort enforcer.
+struct SortOptions {
+  /// Rows the sort may hold in memory before a run is cut and spilled to
+  /// disk; < 0 never spills (behaves like the in-memory Sort, still with
+  /// run elision).
+  int64_t memory_budget_rows = -1;
+  /// Directory for spilled runs; empty = the system temp directory. Runs
+  /// are removed when the operator is destroyed — on success, on a
+  /// mid-pipeline exception, and on early exit alike.
+  std::string temp_dir;
+};
+
+/// External ORDER BY enforcer: accumulates input into memory-bounded runs,
+/// spills sorted runs to disk past the budget, and streams a k-way merge of
+/// the runs. Order reasoning shows up twice:
+///  * full elision — if the child's declared ordering property literally
+///    covers `spec` (spec is a prefix of it), the input is streamed through
+///    untouched: no buffering, no runs, no spill (stats->sorts_elided);
+///  * run elision — a run that arrives physically sorted (IsSortedBy —
+///    e.g. morsels of an OD-proven ordered scan) skips its sort; the merge
+///    still runs. stats->sorts counts 1 iff any run was actually sorted.
+/// stats->spills / spilled_rows count runs written to disk.
+OpPtr ExternalSort(OpPtr child, engine::SortSpec spec, SortOptions options,
+                   opt::ExecStats* stats = nullptr,
+                   int64_t batch_rows = kDefaultBatchRows);
+
 /// Hash GROUP BY: no ordering requirement, no output ordering.
 OpPtr HashAggregate(OpPtr child, std::vector<engine::ColumnId> group_cols,
                     std::vector<engine::AggSpec> aggs);
@@ -145,11 +210,26 @@ OpPtr HashJoin(OpPtr left, engine::ColumnId left_key, OpPtr right,
                const std::string& right_prefix = "r_");
 
 // ---------------------------------------------------------------------------
+// Verification.
+
+/// Forwards the child's stream unchanged while asserting its *claimed*
+/// ordering property actually holds: every adjacent row pair (including
+/// across batch boundaries) must be non-decreasing under
+/// `child->ordering()` per Column::Compare (doubles through
+/// od::CompareDoubles, so NaNs tie). Throws std::logic_error on the first
+/// violation, naming the offending row. A child claiming no ordering passes
+/// through with zero checking. Test harnesses wrap plan roots with this so
+/// "the plan claims sorted output" is a *checked* proof obligation, not an
+/// annotation.
+OpPtr CheckOrder(OpPtr child);
+
+// ---------------------------------------------------------------------------
 // Sink.
 
 /// Pulls `op` to exhaustion into a materialized table (whose ordering
 /// property is `op->ordering()`). Fills stats->rows_output / stats->batches
-/// with what the root emitted.
+/// with what the root emitted. Claims the operator (StartConsume): draining
+/// the same tree twice throws instead of silently returning empty.
 engine::Table Drain(Operator* op, opt::ExecStats* stats = nullptr);
 
 }  // namespace exec

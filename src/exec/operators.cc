@@ -81,8 +81,11 @@ struct Acc {
   void Add(double v) {
     ++count;
     sum += v;
-    if (!has || v < min) min = v;
-    if (!has || v > max) max = v;
+    // CompareDoubles, not raw `<`: NaN must order totally (ties with NaN,
+    // after every value) or min/max stop being associative — and the
+    // parallel merge of per-fragment accumulators relies on associativity.
+    if (!has || CompareDoubles(v, min) < 0) min = v;
+    if (!has || CompareDoubles(v, max) > 0) max = v;
     has = true;
   }
   void AddCountOnly() { ++count; }
@@ -145,22 +148,34 @@ bool EmitTableSlice(const Table& t, int64_t* pos, int64_t batch_rows,
 
 class ScanOp : public OperatorBase {
  public:
-  ScanOp(const Table* table, opt::ExecStats* stats, int64_t batch_rows)
-      : table_(table), stats_(stats), batch_rows_(batch_rows) {
+  ScanOp(const Table* table, int64_t row_begin, int64_t row_end,
+         opt::ExecStats* stats, int64_t batch_rows)
+      : table_(table),
+        stats_(stats),
+        batch_rows_(batch_rows),
+        pos_(std::max<int64_t>(0, row_begin)),
+        end_(std::min(table->num_rows(), row_end)) {
     schema_ = table->schema();
     ordering_ = table->ordering();
   }
 
   bool Next(Batch* out) override {
     PrepareBatch(out);
-    if (!EmitTableSlice(*table_, &pos_, batch_rows_, out)) return false;
+    if (pos_ >= end_) return false;
+    const int64_t stop = std::min(end_, pos_ + batch_rows_);
+    for (int c = 0; c < table_->num_columns(); ++c) {
+      out->col(c).AppendRange(table_->col(c), pos_, stop);
+    }
+    out->SetRowCount(stop - pos_);
+    pos_ = stop;
     if (stats_ != nullptr) stats_->rows_scanned += out->num_rows();
     return true;
   }
 
   std::string Describe(int indent) const override {
-    return Pad(indent) + "Scan (" + std::to_string(table_->num_rows()) +
-           " rows, batch " + std::to_string(batch_rows_) + ")\n";
+    return Pad(indent) + "Scan (rows [" + std::to_string(pos_) + ", " +
+           std::to_string(end_) + "), batch " + std::to_string(batch_rows_) +
+           ")\n";
   }
 
  private:
@@ -168,6 +183,7 @@ class ScanOp : public OperatorBase {
   opt::ExecStats* stats_;
   int64_t batch_rows_;
   int64_t pos_ = 0;
+  int64_t end_ = 0;
 };
 
 class IndexRangeScanOp : public OperatorBase {
@@ -184,6 +200,18 @@ class IndexRangeScanOp : public OperatorBase {
       pos_ = 0;
       end_ = index->num_rows();
     }
+  }
+
+  /// Morsel form: stream positions [pos_begin, pos_end) of the key order.
+  IndexRangeScanOp(const engine::OrderedIndex* index, int64_t pos_begin,
+                   int64_t pos_end, opt::ExecStats* stats, int64_t batch_rows)
+      : index_(index),
+        stats_(stats),
+        batch_rows_(batch_rows),
+        pos_(std::max<int64_t>(0, pos_begin)),
+        end_(std::min(index->num_rows(), pos_end)) {
+    schema_ = index->table().schema();
+    ordering_ = index->key();
   }
 
   bool Next(Batch* out) override {
@@ -225,15 +253,24 @@ class PartitionedScanOp : public OperatorBase {
  public:
   PartitionedScanOp(const engine::PartitionedTable* table,
                     std::optional<std::pair<int64_t, int64_t>> range,
-                    opt::ExecStats* stats, int64_t batch_rows)
-      : table_(table), range_(range), stats_(stats), batch_rows_(batch_rows) {
+                    opt::ExecStats* stats, int64_t batch_rows, int part_begin,
+                    int part_end)
+      : table_(table),
+        range_(range),
+        stats_(stats),
+        batch_rows_(batch_rows),
+        part_(part_begin < 0 ? 0 : std::min(part_begin,
+                                            table->num_partitions())),
+        part_end_(part_end < 0 ? table->num_partitions()
+                               : std::min(part_end,
+                                          table->num_partitions())) {
     schema_ = table->num_partitions() > 0 ? table->partition(0).schema()
                                           : Schema();
   }
 
   bool Next(Batch* out) override {
     PrepareBatch(out);
-    while (part_ < table_->num_partitions()) {
+    while (part_ < part_end_) {
       if (range_.has_value() &&
           (table_->range(part_).second < range_->first ||
            range_->second < table_->range(part_).first)) {
@@ -295,6 +332,7 @@ class PartitionedScanOp : public OperatorBase {
   opt::ExecStats* stats_;
   int64_t batch_rows_;
   int part_ = 0;
+  int part_end_ = 0;
   int64_t row_ = 0;
 };
 
@@ -841,13 +879,62 @@ class HashJoinOp : public OperatorBase {
   Batch scratch_;
 };
 
+// ---------------------------------------------------------------------------
+// Verification.
+
+class CheckOrderOp : public OperatorBase {
+ public:
+  explicit CheckOrderOp(OpPtr child) : child_(std::move(child)) {
+    schema_ = child_->schema();
+    ordering_ = child_->ordering();
+    prev_.Reset(schema_);
+  }
+
+  bool Next(Batch* out) override {
+    if (!child_->Next(out)) return false;
+    if (ordering_.empty()) return true;
+    for (int64_t r = 0; r < out->num_rows(); ++r) {
+      if (have_prev_ &&
+          Batch::CompareRows(prev_, 0, *out, r, ordering_) > 0) {
+        throw std::logic_error(
+            "exec::CheckOrder: stream claims ordering " +
+            SpecString(ordering_) + " but row " + std::to_string(row_index_) +
+            " decreases — the ordering property is a false claim");
+      }
+      prev_.Clear();
+      prev_.AppendRows(*out, r, r + 1);
+      have_prev_ = true;
+      ++row_index_;
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "CheckOrder " + SpecString(ordering_) + "\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+  Batch prev_;  // one row: the last row seen (straddles batch boundaries)
+  bool have_prev_ = false;
+  int64_t row_index_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Factories.
 
 OpPtr Scan(const Table* table, opt::ExecStats* stats, int64_t batch_rows) {
-  return std::make_unique<ScanOp>(table, stats, batch_rows);
+  return std::make_unique<ScanOp>(table, 0, table->num_rows(), stats,
+                                  batch_rows);
+}
+
+OpPtr ScanRange(const Table* table, int64_t row_begin, int64_t row_end,
+                opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<ScanOp>(table, row_begin, row_end, stats,
+                                  batch_rows);
 }
 
 OpPtr IndexRangeScan(const engine::OrderedIndex* index,
@@ -856,10 +943,19 @@ OpPtr IndexRangeScan(const engine::OrderedIndex* index,
   return std::make_unique<IndexRangeScanOp>(index, range, stats, batch_rows);
 }
 
+OpPtr IndexPositionScan(const engine::OrderedIndex* index, int64_t pos_begin,
+                        int64_t pos_end, opt::ExecStats* stats,
+                        int64_t batch_rows) {
+  return std::make_unique<IndexRangeScanOp>(index, pos_begin, pos_end, stats,
+                                            batch_rows);
+}
+
 OpPtr PartitionedScan(const engine::PartitionedTable* table,
                       std::optional<std::pair<int64_t, int64_t>> range,
-                      opt::ExecStats* stats, int64_t batch_rows) {
-  return std::make_unique<PartitionedScanOp>(table, range, stats, batch_rows);
+                      opt::ExecStats* stats, int64_t batch_rows,
+                      int part_begin, int part_end) {
+  return std::make_unique<PartitionedScanOp>(table, range, stats, batch_rows,
+                                             part_begin, part_end);
 }
 
 OpPtr Filter(OpPtr child, std::vector<Predicate> preds) {
@@ -918,7 +1014,12 @@ OpPtr HashJoin(OpPtr left, ColumnId left_key, OpPtr right,
                                       right_prefix);
 }
 
+OpPtr CheckOrder(OpPtr child) {
+  return std::make_unique<CheckOrderOp>(std::move(child));
+}
+
 engine::Table Drain(Operator* op, opt::ExecStats* stats) {
+  op->StartConsume("exec::Drain");
   Table out(op->schema());
   Batch batch;
   while (op->Next(&batch)) {

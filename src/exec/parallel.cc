@@ -1,0 +1,743 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/value.h"
+
+namespace od {
+namespace exec {
+
+namespace {
+
+using engine::AggSpec;
+using engine::ColumnId;
+using engine::DataType;
+using engine::Schema;
+using engine::SortSpec;
+using engine::Table;
+
+std::string SpecStr(const SortSpec& spec) {
+  std::string out = "[";
+  for (size_t i = 0; i < spec.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(spec[i]);
+  }
+  return out + "]";
+}
+
+bool IsPrefixOf(const SortSpec& spec, const SortSpec& ordering) {
+  if (spec.size() > ordering.size()) return false;
+  return std::equal(spec.begin(), spec.end(), ordering.begin());
+}
+
+/// Runs every fragment to completion on the pool (each into its own table,
+/// each against its own private ExecStats) and merges the stats after the
+/// join. The only multi-threaded region of the exchange layer.
+void DrainFragments(std::vector<OpPtr>* frags,
+                    std::vector<opt::ExecStats>* frag_stats,
+                    common::ThreadPool* pool, opt::ExecStats* stats,
+                    std::vector<Table>* tables) {
+  const int n = static_cast<int>(frags->size());
+  tables->resize(n);
+  auto drain_one = [&](int64_t i) {
+    (*tables)[i] = Drain((*frags)[i].get(), &(*frag_stats)[i]);
+  };
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, drain_one);
+  } else {
+    for (int i = 0; i < n; ++i) drain_one(i);
+  }
+  if (stats != nullptr) {
+    for (const opt::ExecStats& fs : *frag_stats) {
+      opt::ExecStats partial = fs;
+      // A fragment's rows_output/batches describe the fragment's stream,
+      // not the pipeline root's; the exchange re-counts its own output.
+      partial.rows_output = 0;
+      partial.batches = 0;
+      stats->Merge(partial);
+    }
+  }
+  frags->clear();
+}
+
+class ExchangeOp : public Operator {
+ public:
+  ExchangeOp(int num_fragments, const FragmentFactory& factory,
+             MergeMode mode, SortSpec merge_spec, common::ThreadPool* pool,
+             opt::ExecStats* stats, int64_t batch_rows)
+      : mode_(mode),
+        merge_spec_(std::move(merge_spec)),
+        pool_(pool),
+        stats_(stats),
+        batch_rows_(batch_rows) {
+    if (num_fragments < 1) {
+      throw std::invalid_argument("exec::Exchange: need >= 1 fragment");
+    }
+    frag_stats_.resize(num_fragments);
+    frags_.reserve(num_fragments);
+    for (int i = 0; i < num_fragments; ++i) {
+      frags_.push_back(factory(i, &frag_stats_[i]));
+      if (frags_[i] == nullptr) {
+        throw std::invalid_argument("exec::Exchange: null fragment");
+      }
+      if (i > 0 && frags_[i]->schema().num_columns() !=
+                       frags_[0]->schema().num_columns()) {
+        throw std::logic_error(
+            "exec::Exchange: fragments disagree on schema");
+      }
+      if (mode_ == MergeMode::kOrderedMerge &&
+          !IsPrefixOf(merge_spec_, frags_[i]->ordering())) {
+        // The proof obligation of the order-preserving merge: a fragment
+        // that cannot *claim* the merge order (planner-proven via
+        // OrderReasoner) must not be merged order-preservingly.
+        throw std::logic_error(
+            "exec::Exchange: ordered merge on " + SpecStr(merge_spec_) +
+            " but fragment " + std::to_string(i) + " only claims " +
+            SpecStr(frags_[i]->ordering()) +
+            " — no OD proof, use kUnion + Sort");
+      }
+    }
+    schema_ = frags_[0]->schema();
+    if (mode_ == MergeMode::kOrderedMerge) {
+      ordering_ = merge_spec_;
+    } else if (num_fragments == 1) {
+      ordering_ = frags_[0]->ordering();
+    }
+    describe_child_ = frags_[0]->Describe(0);
+  }
+
+  bool Next(Batch* out) override {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+    if (!ready_) {
+      DrainFragments(&frags_, &frag_stats_, pool_, stats_, &tables_);
+      if (mode_ == MergeMode::kOrderedMerge) {
+        // Cursors before heap: HeapCmp reads pos_ during push.
+        pos_.assign(tables_.size(), 0);
+        for (size_t i = 0; i < tables_.size(); ++i) {
+          if (tables_[i].num_rows() > 0) heap_.push(static_cast<int>(i));
+        }
+      }
+      ready_ = true;
+    }
+    if (mode_ == MergeMode::kUnion) {
+      while (cur_table_ < static_cast<int>(tables_.size())) {
+        const Table& t = tables_[cur_table_];
+        if (cur_pos_ < t.num_rows()) {
+          const int64_t end = std::min(t.num_rows(), cur_pos_ + batch_rows_);
+          for (int c = 0; c < t.num_columns(); ++c) {
+            out->col(c).AppendRange(t.col(c), cur_pos_, end);
+          }
+          out->SetRowCount(end - cur_pos_);
+          cur_pos_ = end;
+          return true;
+        }
+        ++cur_table_;
+        cur_pos_ = 0;
+      }
+      return false;
+    }
+    // Ordered k-way merge; ties break on fragment index, which for
+    // row-range morsels reproduces the serial plan's row order exactly.
+    while (out->num_rows() < batch_rows_ && !heap_.empty()) {
+      const int i = heap_.top();
+      heap_.pop();
+      const Table& t = tables_[i];
+      for (int c = 0; c < t.num_columns(); ++c) {
+        out->col(c).AppendFrom(t.col(c), pos_[i]);
+      }
+      out->FinishRow();
+      if (++pos_[i] < t.num_rows()) heap_.push(i);
+    }
+    return out->num_rows() > 0;
+  }
+
+  std::string Describe(int indent) const override {
+    std::string out = Pad(indent) + "Exchange fragments=" +
+                      std::to_string(frag_stats_.size());
+    if (mode_ == MergeMode::kOrderedMerge) {
+      out += " ordered-merge " + SpecStr(merge_spec_) + " (OD-proven)";
+    } else {
+      out += " union";
+    }
+    out += "\n" + Pad(indent + 1) + "fragment template:\n";
+    std::string child = describe_child_;
+    std::string indented;
+    size_t start = 0;
+    while (start < child.size()) {
+      size_t nl = child.find('\n', start);
+      if (nl == std::string::npos) nl = child.size();
+      indented += Pad(indent + 2) + child.substr(start, nl - start) + "\n";
+      start = nl + 1;
+    }
+    return out + indented;
+  }
+
+ private:
+  struct HeapCmp {
+    const ExchangeOp* op;
+    bool operator()(int a, int b) const {
+      const Table& ta = op->tables_[a];
+      const Table& tb = op->tables_[b];
+      for (ColumnId c : op->merge_spec_) {
+        const int cmp =
+            ta.col(c).Compare(op->pos_[a], tb.col(c), op->pos_[b]);
+        if (cmp != 0) return cmp > 0;  // min-heap
+      }
+      return a > b;  // fragment-index tiebreak: stability
+    }
+  };
+
+  MergeMode mode_;
+  SortSpec merge_spec_;
+  common::ThreadPool* pool_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  std::vector<OpPtr> frags_;
+  std::vector<opt::ExecStats> frag_stats_;
+  std::vector<Table> tables_;
+  std::string describe_child_;
+  bool ready_ = false;
+  int cur_table_ = 0;   // union cursor
+  int64_t cur_pos_ = 0;
+  std::vector<int64_t> pos_;  // merge cursors
+  std::priority_queue<int, std::vector<int>, HeapCmp> heap_{HeapCmp{this}};
+};
+
+// ---------------------------------------------------------------------------
+// Partition-parallel aggregation.
+
+/// The engine's aggregate accumulator, restated: raw moments only, so
+/// partials from different workers merge exactly (avg = sum/count is
+/// finished after the merge, never merged itself).
+struct Acc {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  bool has = false;
+
+  void Add(double v) {
+    ++count;
+    sum += v;
+    // CompareDoubles keeps min/max associative under NaN (NaN ties with
+    // NaN, orders after every value) — the exact property the fragment
+    // merge below needs to reproduce the serial stream's answer.
+    if (!has || CompareDoubles(v, min) < 0) min = v;
+    if (!has || CompareDoubles(v, max) > 0) max = v;
+    has = true;
+  }
+  void AddCountOnly() { ++count; }
+  void Merge(const Acc& o) {
+    count += o.count;
+    sum += o.sum;
+    if (o.has && (!has || CompareDoubles(o.min, min) < 0)) min = o.min;
+    if (o.has && (!has || CompareDoubles(o.max, max) > 0)) max = o.max;
+    has |= o.has;
+  }
+  double Result(AggSpec::Kind kind) const {
+    switch (kind) {
+      case AggSpec::Kind::kCount: return static_cast<double>(count);
+      case AggSpec::Kind::kSum: return sum;
+      case AggSpec::Kind::kMin: return min;
+      case AggSpec::Kind::kMax: return max;
+      case AggSpec::Kind::kAvg: return count == 0 ? 0 : sum / count;
+    }
+    return 0;
+  }
+};
+
+/// One worker's aggregation state: group-key string -> slot, plus the
+/// group's key values (for emitting) and one Acc per aggregate.
+struct LocalAgg {
+  std::unordered_map<std::string, int64_t> slots;
+  std::vector<std::vector<Value>> group_vals;
+  std::vector<std::vector<Acc>> accs;
+};
+
+std::string GroupKey(const Batch& b, int64_t row,
+                     const std::vector<ColumnId>& group_cols) {
+  std::string key;
+  for (ColumnId c : group_cols) {
+    key += b.col(c).Get(row).ToString();
+    key += '\x01';
+  }
+  return key;
+}
+
+Schema AggOutputSchema(const Schema& in, const std::vector<ColumnId>& groups,
+                       const std::vector<AggSpec>& aggs) {
+  Schema out;
+  for (ColumnId c : groups) out.Add(in.col(c).name, in.col(c).type);
+  for (const auto& a : aggs) {
+    out.Add(a.out_name, a.kind == AggSpec::Kind::kCount ? DataType::kInt64
+                                                        : DataType::kDouble);
+  }
+  return out;
+}
+
+class ParallelHashAggregateOp : public Operator {
+ public:
+  ParallelHashAggregateOp(int num_fragments, const FragmentFactory& factory,
+                          std::vector<ColumnId> group_cols,
+                          std::vector<AggSpec> aggs,
+                          common::ThreadPool* pool, opt::ExecStats* stats,
+                          int64_t batch_rows)
+      : group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)),
+        pool_(pool),
+        stats_(stats),
+        batch_rows_(batch_rows) {
+    if (num_fragments < 1) {
+      throw std::invalid_argument(
+          "exec::ParallelHashAggregate: need >= 1 fragment");
+    }
+    frag_stats_.resize(num_fragments);
+    frags_.reserve(num_fragments);
+    for (int i = 0; i < num_fragments; ++i) {
+      frags_.push_back(factory(i, &frag_stats_[i]));
+      if (frags_[i] == nullptr) {
+        throw std::invalid_argument(
+            "exec::ParallelHashAggregate: null fragment");
+      }
+    }
+    const Schema& in = frags_[0]->schema();
+    for (ColumnId c : group_cols_) {
+      if (c < 0 || c >= in.num_columns()) {
+        throw std::out_of_range(
+            "exec::ParallelHashAggregate: group column out of range");
+      }
+    }
+    for (const auto& a : aggs_) {
+      if (a.kind != AggSpec::Kind::kCount &&
+          (a.col < 0 || a.col >= in.num_columns())) {
+        throw std::out_of_range(
+            "exec::ParallelHashAggregate: agg column out of range");
+      }
+    }
+    schema_ = AggOutputSchema(in, group_cols_, aggs_);
+    // ordering_ stays empty: hash aggregation has no output order.
+  }
+
+  bool Next(Batch* out) override {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+    if (!ready_) BuildAndMerge();
+    if (pos_ >= result_.num_rows()) return false;
+    const int64_t end = std::min(result_.num_rows(), pos_ + batch_rows_);
+    for (int c = 0; c < result_.num_columns(); ++c) {
+      out->col(c).AppendRange(result_.col(c), pos_, end);
+    }
+    out->SetRowCount(end - pos_);
+    pos_ = end;
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "ParallelHashAggregate fragments=" +
+           std::to_string(frag_stats_.size()) + " groups=" +
+           SpecStr(group_cols_) + " (thread-local build + merge)\n" +
+           (frags_.empty() ? "" : frags_[0]->Describe(indent + 1));
+  }
+
+ private:
+  void BuildAndMerge() {
+    const int n = static_cast<int>(frags_.size());
+    std::vector<LocalAgg> locals(n);
+    auto build_one = [&](int64_t i) {
+      Operator* frag = frags_[i].get();
+      frag->StartConsume("exec::ParallelHashAggregate");
+      LocalAgg& local = locals[i];
+      Batch batch;
+      while (frag->Next(&batch)) {
+        for (int64_t r = 0; r < batch.num_rows(); ++r) {
+          std::string key = GroupKey(batch, r, group_cols_);
+          auto [it, inserted] = local.slots.try_emplace(
+              std::move(key), static_cast<int64_t>(local.accs.size()));
+          if (inserted) {
+            std::vector<Value> vals;
+            vals.reserve(group_cols_.size());
+            for (ColumnId c : group_cols_) {
+              vals.push_back(batch.col(c).Get(r));
+            }
+            local.group_vals.push_back(std::move(vals));
+            local.accs.emplace_back(aggs_.size());
+          }
+          std::vector<Acc>& accs = local.accs[it->second];
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            if (aggs_[a].kind == AggSpec::Kind::kCount) {
+              accs[a].AddCountOnly();
+            } else {
+              accs[a].Add(batch.col(aggs_[a].col).Numeric(r));
+            }
+          }
+        }
+      }
+    };
+    if (pool_ != nullptr && n > 1) {
+      pool_->ParallelFor(n, build_one);
+    } else {
+      for (int i = 0; i < n; ++i) build_one(i);
+    }
+    // Single-threaded merge, fragment order: deterministic group order.
+    LocalAgg merged;
+    for (LocalAgg& local : locals) {
+      for (auto& [key, slot] : local.slots) {
+        auto [it, inserted] = merged.slots.try_emplace(
+            key, static_cast<int64_t>(merged.accs.size()));
+        if (inserted) {
+          merged.group_vals.push_back(std::move(local.group_vals[slot]));
+          merged.accs.push_back(std::move(local.accs[slot]));
+        } else {
+          std::vector<Acc>& into = merged.accs[it->second];
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            into[a].Merge(local.accs[slot][a]);
+          }
+        }
+      }
+    }
+    result_ = Table(schema_);
+    for (size_t g = 0; g < merged.accs.size(); ++g) {
+      int c = 0;
+      for (const Value& v : merged.group_vals[g]) {
+        result_.col(c++).Append(v);
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].kind == AggSpec::Kind::kCount) {
+          result_.col(c++).AppendInt(merged.accs[g][a].count);
+        } else {
+          result_.col(c++).AppendDouble(
+              merged.accs[g][a].Result(aggs_[a].kind));
+        }
+      }
+      result_.FinishRow();
+    }
+    if (stats_ != nullptr) {
+      for (const opt::ExecStats& fs : frag_stats_) {
+        opt::ExecStats partial = fs;
+        partial.rows_output = 0;
+        partial.batches = 0;
+        stats_->Merge(partial);
+      }
+    }
+    frags_.clear();
+    ready_ = true;
+  }
+
+  std::vector<ColumnId> group_cols_;
+  std::vector<AggSpec> aggs_;
+  common::ThreadPool* pool_;
+  opt::ExecStats* stats_;
+  int64_t batch_rows_;
+  std::vector<OpPtr> frags_;
+  std::vector<opt::ExecStats> frag_stats_;
+  Table result_;
+  bool ready_ = false;
+  int64_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Partial-aggregate combine (the merge stage after an ordered exchange).
+
+class CombinePartialAggregatesOp : public Operator {
+ public:
+  CombinePartialAggregatesOp(OpPtr child, int num_group_cols,
+                             std::vector<AggSpec::Kind> kinds)
+      : child_(std::move(child)),
+        num_groups_(num_group_cols),
+        kinds_(std::move(kinds)) {
+    const Schema& in = child_->schema();
+    if (num_groups_ < 0 ||
+        in.num_columns() !=
+            num_groups_ + static_cast<int>(kinds_.size())) {
+      throw std::invalid_argument(
+          "exec::CombinePartialAggregates: schema must be group columns "
+          "then one column per aggregate");
+    }
+    for (AggSpec::Kind k : kinds_) {
+      if (k == AggSpec::Kind::kAvg) {
+        throw std::invalid_argument(
+            "exec::CombinePartialAggregates: avg is not decomposable — a "
+            "finished average cannot be re-combined (use "
+            "ParallelHashAggregate)");
+      }
+    }
+    // Contiguity precondition: the child's ordering must order *all* group
+    // columns before anything else, otherwise a group could reappear and
+    // the combine would emit it twice.
+    group_ids_.resize(num_groups_);
+    const SortSpec& ord = child_->ordering();
+    std::vector<bool> seen(num_groups_, false);
+    int covered = 0;
+    for (size_t i = 0; i < ord.size() && covered < num_groups_; ++i) {
+      if (ord[i] < 0 || ord[i] >= num_groups_ || seen[ord[i]]) break;
+      seen[ord[i]] = true;
+      ++covered;
+    }
+    if (covered < num_groups_) {
+      throw std::logic_error(
+          "exec::CombinePartialAggregates: child ordering " +
+          SpecStr(ord) + " does not make the " +
+          std::to_string(num_groups_) +
+          " group columns contiguous — partial groups could reappear");
+    }
+    for (int i = 0; i < num_groups_; ++i) group_ids_[i] = i;
+    schema_ = in;
+    ordering_ = child_->ordering();
+  }
+
+  bool Next(Batch* out) override {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+    while (out->empty()) {
+      if (!child_->Next(&scratch_)) {
+        if (have_pending_) {
+          EmitPending(out);
+          have_pending_ = false;
+          return true;
+        }
+        return false;
+      }
+      for (int64_t r = 0; r < scratch_.num_rows(); ++r) {
+        if (have_pending_ &&
+            Batch::CompareRows(pending_, 0, scratch_, r, group_ids_) == 0) {
+          Fold(scratch_, r);
+        } else {
+          if (have_pending_) EmitPending(out);
+          LoadPending(scratch_, r);
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "CombinePartialAggregates groups=" +
+           std::to_string(num_groups_) + "\n" +
+           child_->Describe(indent + 1);
+  }
+
+ private:
+  void LoadPending(const Batch& b, int64_t r) {
+    if (pending_.num_columns() != schema_.num_columns()) {
+      pending_.Reset(schema_);
+    } else {
+      pending_.Clear();
+    }
+    pending_.AppendRows(b, r, r + 1);
+    accs_.assign(kinds_.size(), Acc());
+    Fold(b, r);
+    have_pending_ = true;
+  }
+
+  void Fold(const Batch& b, int64_t r) {
+    for (size_t a = 0; a < kinds_.size(); ++a) {
+      const int col = num_groups_ + static_cast<int>(a);
+      Acc& acc = accs_[a];
+      switch (kinds_[a]) {
+        case AggSpec::Kind::kCount:
+          acc.count += b.col(col).Int(r);
+          break;
+        case AggSpec::Kind::kSum:
+          acc.sum += b.col(col).Double(r);
+          break;
+        case AggSpec::Kind::kMin:
+          acc.Add(b.col(col).Double(r));
+          break;
+        case AggSpec::Kind::kMax:
+          acc.Add(b.col(col).Double(r));
+          break;
+        case AggSpec::Kind::kAvg:
+          break;  // rejected in the constructor
+      }
+    }
+  }
+
+  void EmitPending(Batch* out) {
+    for (int c = 0; c < num_groups_; ++c) {
+      out->col(c).AppendFrom(pending_.col(c), 0);
+    }
+    for (size_t a = 0; a < kinds_.size(); ++a) {
+      const int c = num_groups_ + static_cast<int>(a);
+      switch (kinds_[a]) {
+        case AggSpec::Kind::kCount:
+          out->col(c).AppendInt(accs_[a].count);
+          break;
+        case AggSpec::Kind::kSum:
+          out->col(c).AppendDouble(accs_[a].sum);
+          break;
+        case AggSpec::Kind::kMin:
+          out->col(c).AppendDouble(accs_[a].min);
+          break;
+        case AggSpec::Kind::kMax:
+          out->col(c).AppendDouble(accs_[a].max);
+          break;
+        case AggSpec::Kind::kAvg:
+          break;
+      }
+    }
+    out->FinishRow();
+  }
+
+  OpPtr child_;
+  int num_groups_;
+  std::vector<AggSpec::Kind> kinds_;
+  std::vector<ColumnId> group_ids_;
+  Batch scratch_;
+  Batch pending_;  // one row: the group being accumulated
+  std::vector<Acc> accs_;
+  bool have_pending_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shared-build parallel hash join.
+
+Schema JoinSchema(const Schema& left, const Schema& right,
+                  const std::string& right_prefix) {
+  Schema out;
+  for (int c = 0; c < left.num_columns(); ++c) {
+    out.Add(left.col(c).name, left.col(c).type);
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    std::string name = right.col(c).name;
+    if (out.Find(name) >= 0) name = right_prefix + name;
+    out.Add(name, right.col(c).type);
+  }
+  return out;
+}
+
+class HashProbeOp : public Operator {
+ public:
+  HashProbeOp(OpPtr probe, ColumnId probe_key,
+              std::shared_ptr<const SharedHashTable> table,
+              opt::ExecStats* stats, const std::string& right_prefix)
+      : probe_(std::move(probe)),
+        probe_key_(probe_key),
+        table_(std::move(table)),
+        stats_(stats) {
+    if (table_ == nullptr) {
+      throw std::invalid_argument("exec::HashProbe: null build table");
+    }
+    if (probe_key_ < 0 || probe_key_ >= probe_->schema().num_columns()) {
+      throw std::out_of_range("exec::HashProbe: probe key out of range");
+    }
+    if (probe_->schema().col(probe_key_).type != DataType::kInt64) {
+      throw std::invalid_argument(
+          "exec::HashProbe: probe key must be an int64 column");
+    }
+    schema_ = JoinSchema(probe_->schema(), table_->rows.schema(),
+                         right_prefix);
+    ordering_ = probe_->ordering();  // probing preserves probe row order
+    probe_cols_ = probe_->schema().num_columns();
+  }
+
+  bool Next(Batch* out) override {
+    if (out->num_columns() == schema_.num_columns()) {
+      out->Clear();
+    } else {
+      out->Reset(schema_);
+    }
+    while (out->empty()) {
+      if (!probe_->Next(&scratch_)) return false;
+      for (int64_t l = 0; l < scratch_.num_rows(); ++l) {
+        auto [begin, end] =
+            table_->index.equal_range(scratch_.col(probe_key_).Int(l));
+        for (auto it = begin; it != end; ++it) {
+          for (int c = 0; c < probe_cols_; ++c) {
+            out->col(c).AppendFrom(scratch_.col(c), l);
+          }
+          for (int c = 0; c < table_->rows.num_columns(); ++c) {
+            out->col(probe_cols_ + c)
+                .AppendFrom(table_->rows.col(c), it->second);
+          }
+          out->FinishRow();
+          if (stats_ != nullptr) ++stats_->rows_joined;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "HashProbe key=" + std::to_string(probe_key_) +
+           " (shared build, " + std::to_string(table_->rows.num_rows()) +
+           " rows)\n" + probe_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr probe_;
+  ColumnId probe_key_;
+  std::shared_ptr<const SharedHashTable> table_;
+  opt::ExecStats* stats_;
+  int probe_cols_ = 0;
+  Batch scratch_;
+};
+
+}  // namespace
+
+OpPtr Exchange(int num_fragments, FragmentFactory factory, MergeMode mode,
+               engine::SortSpec merge_spec, common::ThreadPool* pool,
+               opt::ExecStats* stats, int64_t batch_rows) {
+  return std::make_unique<ExchangeOp>(num_fragments, factory, mode,
+                                      std::move(merge_spec), pool, stats,
+                                      batch_rows);
+}
+
+OpPtr ParallelHashAggregate(int num_fragments, FragmentFactory factory,
+                            std::vector<engine::ColumnId> group_cols,
+                            std::vector<engine::AggSpec> aggs,
+                            common::ThreadPool* pool, opt::ExecStats* stats,
+                            int64_t batch_rows) {
+  return std::make_unique<ParallelHashAggregateOp>(
+      num_fragments, factory, std::move(group_cols), std::move(aggs), pool,
+      stats, batch_rows);
+}
+
+OpPtr CombinePartialAggregates(OpPtr child, int num_group_cols,
+                               std::vector<engine::AggSpec::Kind> kinds) {
+  return std::make_unique<CombinePartialAggregatesOp>(
+      std::move(child), num_group_cols, std::move(kinds));
+}
+
+std::shared_ptr<const SharedHashTable> BuildSharedHash(
+    OpPtr build, engine::ColumnId key, opt::ExecStats* stats) {
+  if (key < 0 || key >= build->schema().num_columns()) {
+    throw std::out_of_range("exec::BuildSharedHash: key out of range");
+  }
+  if (build->schema().col(key).type != DataType::kInt64) {
+    throw std::invalid_argument(
+        "exec::BuildSharedHash: build key must be an int64 column");
+  }
+  auto table = std::make_shared<SharedHashTable>();
+  table->rows = Drain(build.get(), nullptr);
+  table->index.reserve(table->rows.num_rows());
+  for (int64_t r = 0; r < table->rows.num_rows(); ++r) {
+    table->index.emplace(table->rows.col(key).Int(r), r);
+  }
+  if (stats != nullptr) ++stats->joins;  // one logical join, many probes
+  return table;
+}
+
+OpPtr HashProbe(OpPtr probe, engine::ColumnId probe_key,
+                std::shared_ptr<const SharedHashTable> table,
+                opt::ExecStats* stats, const std::string& right_prefix) {
+  return std::make_unique<HashProbeOp>(std::move(probe), probe_key,
+                                       std::move(table), stats,
+                                       right_prefix);
+}
+
+}  // namespace exec
+}  // namespace od

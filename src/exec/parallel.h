@@ -1,0 +1,103 @@
+#ifndef OD_EXEC_PARALLEL_H_
+#define OD_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/ops.h"
+#include "engine/table.h"
+#include "exec/operator.h"
+
+namespace od {
+namespace exec {
+
+/// Builds the pipeline fragment a worker runs over morsel `fragment` of
+/// [0, num_fragments) — e.g. a ScanRange over that fragment's row range,
+/// with the same Filter/Project/probe chain stacked on each. `stats` is a
+/// *private* per-fragment ExecStats owned by the exchange: workers never
+/// share a counter, the exchange merges them single-threaded after the
+/// fragments join (what keeps the whole layer clean under TSan).
+using FragmentFactory =
+    std::function<OpPtr(int fragment, opt::ExecStats* stats)>;
+
+/// How an exchange recombines its fragments' streams.
+enum class MergeMode {
+  /// Concatenates fragment outputs in fragment order. No ordering claim
+  /// (except trivially at one fragment).
+  kUnion,
+  /// OD-proven order-preserving k-way merge: every fragment must *claim*
+  /// `merge_spec` (as a prefix of its ordering property) — the planner
+  /// proves the claim via OrderReasoner before choosing this mode, and the
+  /// exchange throws std::logic_error at build time if a fragment shows up
+  /// without the proof. Heap ties break on fragment index, so with
+  /// row-range morsels the merged stream is row-identical to the serial
+  /// plan, and the exchange claims `merge_spec` as its own ordering.
+  kOrderedMerge,
+};
+
+/// The exchange operator: constructs `num_fragments` pipeline fragments
+/// (serially, in the constructor), drains them in parallel on `pool` on the
+/// first Next — one materialized table per fragment — then streams the
+/// recombination. `pool` may be null (or single-threaded): fragments then
+/// run serially, same results. Fragments must not themselves contain an
+/// exchange (ThreadPool::ParallelFor does not nest).
+OpPtr Exchange(int num_fragments, FragmentFactory factory, MergeMode mode,
+               engine::SortSpec merge_spec, common::ThreadPool* pool,
+               opt::ExecStats* stats = nullptr,
+               int64_t batch_rows = kDefaultBatchRows);
+
+/// Partition-parallel GROUP BY: each worker drains its fragment into a
+/// thread-local hash of *raw accumulators* (count/sum/min/max), which are
+/// merged accumulator-wise after the join — so non-decomposable results
+/// like kAvg still come out exact (avg is finished only after the merge).
+/// Output schema: group columns then one column per aggregate; no output
+/// ordering (like HashAggregate).
+OpPtr ParallelHashAggregate(int num_fragments, FragmentFactory factory,
+                            std::vector<engine::ColumnId> group_cols,
+                            std::vector<engine::AggSpec> aggs,
+                            common::ThreadPool* pool,
+                            opt::ExecStats* stats = nullptr,
+                            int64_t batch_rows = kDefaultBatchRows);
+
+/// Combines adjacent partial-aggregate rows with equal group keys into one
+/// final row — the "merge" stage after an ordered exchange of per-fragment
+/// StreamAggregate outputs (a group straddling a morsel boundary arrives as
+/// two adjacent rows). Child schema: `num_group_cols` group columns then
+/// one column per entry of `kinds`, holding that aggregate's finished
+/// value. Only decomposable kinds (count/sum/min/max) are accepted — a
+/// finished avg cannot be re-combined; the planner routes avg queries
+/// through ParallelHashAggregate instead. Precondition (checked): the
+/// child's ordering covers all group columns in its first `num_group_cols`
+/// entries, so equal groups are contiguous. Preserves the child's ordering.
+OpPtr CombinePartialAggregates(OpPtr child, int num_group_cols,
+                               std::vector<engine::AggSpec::Kind> kinds);
+
+/// The immutable build side of a partition-parallel hash join: built once,
+/// shared read-only by every probe fragment (no per-fragment rebuild).
+struct SharedHashTable {
+  engine::Table rows;
+  std::unordered_multimap<int64_t, int64_t> index;  // key value -> build row
+};
+
+/// Drains `build` and hashes it on int64 column `key`. Counts stats->joins
+/// once (the logical join, however many fragments probe it).
+std::shared_ptr<const SharedHashTable> BuildSharedHash(
+    OpPtr build, engine::ColumnId key, opt::ExecStats* stats = nullptr);
+
+/// Streams `probe`, emitting probe columns then build columns (colliding
+/// names prefixed) for every match in `table` — the per-fragment probe half
+/// of a parallel hash join. Preserves the probe child's ordering.
+OpPtr HashProbe(OpPtr probe, engine::ColumnId probe_key,
+                std::shared_ptr<const SharedHashTable> table,
+                opt::ExecStats* stats = nullptr,
+                const std::string& right_prefix = "r_");
+
+}  // namespace exec
+}  // namespace od
+
+#endif  // OD_EXEC_PARALLEL_H_

@@ -3,6 +3,20 @@
 namespace od {
 namespace opt {
 
+void ExecStats::Merge(const ExecStats& other) {
+  rows_scanned += other.rows_scanned;
+  rows_joined += other.rows_joined;
+  rows_output += other.rows_output;
+  batches += other.batches;
+  sorts += other.sorts;
+  sorts_elided += other.sorts_elided;
+  joins += other.joins;
+  joins_elided += other.joins_elided;
+  partitions_scanned += other.partitions_scanned;
+  spills += other.spills;
+  spilled_rows += other.spilled_rows;
+}
+
 std::string ExecStats::ToString() const {
   std::string out;
   out += "rows_scanned=" + std::to_string(rows_scanned);
@@ -14,6 +28,8 @@ std::string ExecStats::ToString() const {
   out += " joins=" + std::to_string(joins);
   out += " joins_elided=" + std::to_string(joins_elided);
   out += " partitions_scanned=" + std::to_string(partitions_scanned);
+  out += " spills=" + std::to_string(spills);
+  out += " spilled_rows=" + std::to_string(spilled_rows);
   return out;
 }
 

@@ -29,6 +29,14 @@ struct ExecStats {
   /// Joins removed entirely, e.g. by the surrogate-key date rewrite.
   int joins_elided = 0;
   int partitions_scanned = 0;
+  /// Sorted runs written to disk by the external sort, and the rows in them.
+  int spills = 0;
+  int64_t spilled_rows = 0;
+
+  /// Adds `other`'s counters into this one. The exchange operators give
+  /// each worker a private ExecStats and merge after the fragments join, so
+  /// no counter is ever written from two threads.
+  void Merge(const ExecStats& other);
 
   /// One-line rendering used by benches and EXPLAIN output.
   std::string ToString() const;

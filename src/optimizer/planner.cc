@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/parallel.h"
 #include "optimizer/date_rewrite.h"
 
 namespace od {
@@ -706,6 +707,159 @@ class Planner {
   std::vector<int> eligible_;
 };
 
+// ---------------------------------------------------------------------------
+// Parallelization pass (PlanOptions::dop > 1). Runs after the serial
+// enumeration picked a winner: cut the driving chain into row-range morsels
+// behind one exchange, choosing the recombination by what the chain can
+// *prove* — an order-preserving merge when it carries an ordering property
+// (parallelism must never reintroduce a sort the OD reasoning elided), a
+// union otherwise.
+
+/// A chain a worker can run privately over its morsel: scans at the leaf,
+/// filters/projections, and hash-join *probes* (the build side is shared
+/// read-only). Everything else needs the whole stream.
+bool IsChainSafe(const PhysicalNode& n) {
+  switch (n.kind) {
+    case Kind::kScan:
+    case Kind::kIndexScan:
+    case Kind::kPartitionedScan:
+      return true;
+    case Kind::kFilter:
+    case Kind::kProject:
+    case Kind::kHashJoin:
+      return IsChainSafe(*n.children[0]);
+    default:
+      return false;
+  }
+}
+
+/// Wraps `chain` in an exchange of `dop` fragments; picks merge vs union
+/// from the chain's ordering property and records the proof.
+std::unique_ptr<PhysicalNode> MakeExchange(
+    std::unique_ptr<PhysicalNode> chain, int dop, const CostModel& cm,
+    std::vector<std::string>* proofs) {
+  auto x = std::make_unique<PhysicalNode>();
+  x->kind = Kind::kExchange;
+  x->dop = dop;
+  x->ordered_merge = !chain->out_ordering.empty();
+  x->spec = chain->out_ordering;
+  x->est_rows = chain->est_rows;
+  x->est_cost = chain->est_cost / dop + dop * cm.fragment_startup +
+                chain->est_rows * cm.exchange_row;
+  x->out_ordering = chain->out_ordering;
+  if (x->ordered_merge) {
+    x->note = "order-preserving merge on " + SpecString(x->spec) +
+              " (OD-proven: contiguous morsels inherit the order)";
+    proofs->push_back(
+        "parallel exchange (dop=" + std::to_string(dop) +
+        "): each row-range morsel inherits proven order " +
+        SpecString(x->spec) +
+        "; k-way merge with fragment tiebreak reproduces the serial "
+        "stream — no sort reintroduced");
+  } else {
+    x->note = "union (no ordering property to preserve)";
+  }
+  x->children.push_back(std::move(chain));
+  return x;
+}
+
+bool AggsDecomposable(const std::vector<engine::AggSpec>& aggs) {
+  for (const auto& a : aggs) {
+    if (a.kind == engine::AggSpec::Kind::kAvg) return false;
+  }
+  return true;
+}
+
+/// Walks the driving chain from the root and applies the first profitable
+/// parallel rewrite; returns whether the tree changed (at most one
+/// exchange per plan — ThreadPool::ParallelFor does not nest).
+bool ParallelizeSlot(std::unique_ptr<PhysicalNode>* slot, int dop,
+                     const CostModel& cm,
+                     std::vector<std::string>* proofs) {
+  PhysicalNode* n = slot->get();
+  if (IsChainSafe(*n)) {
+    const double serial = n->est_cost;
+    auto x = MakeExchange(std::move(*slot), dop, cm, proofs);
+    if (x->est_cost >= serial) {
+      // Not worth the exchange overhead: put the chain back.
+      *slot = std::move(x->children[0]);
+      if (x->ordered_merge && !proofs->empty()) proofs->pop_back();
+      return false;
+    }
+    *slot = std::move(x);
+    return true;
+  }
+  switch (n->kind) {
+    case Kind::kHashAgg: {
+      if (!IsChainSafe(*n->children[0])) {
+        return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+      }
+      const double chain_cost = n->children[0]->est_cost;
+      const double agg_work = n->est_cost - chain_cost;
+      const double par = chain_cost / dop + agg_work / dop +
+                         dop * cm.fragment_startup +
+                         n->est_rows * cm.output_row;
+      if (par >= n->est_cost) return false;
+      n->kind = Kind::kParallelHashAgg;
+      n->dop = dop;
+      n->est_cost = par;
+      n->note = "thread-local accumulator build x" + std::to_string(dop) +
+                ", exact merge (avg-safe)";
+      return true;
+    }
+    case Kind::kStreamAgg: {
+      PhysicalNode* chain = n->children[0].get();
+      if (!IsChainSafe(*chain)) {
+        return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+      }
+      if (chain->out_ordering.empty()) {
+        // A union exchange would break group contiguity and an ordered
+        // merge has nothing to merge on: stay serial.
+        return false;
+      }
+      const bool covers = n->out_ordering.size() == n->group_cols.size();
+      if (AggsDecomposable(n->aggs) && covers) {
+        // Per-fragment partial aggregation: exchange the whole StreamAgg
+        // subtree (each fragment aggregates its morsel, a group straddling
+        // a boundary arrives as adjacent partials), merge ordered on the
+        // agg output order, combine partials above.
+        const double serial = n->est_cost;
+        const double partials =
+            n->est_rows + dop;  // + boundary-straddling groups
+        auto combine = std::make_unique<PhysicalNode>();
+        combine->kind = Kind::kCombinePartials;
+        combine->group_cols = n->group_cols;
+        combine->aggs = n->aggs;
+        combine->est_rows = n->est_rows;
+        combine->out_ordering = n->out_ordering;
+        combine->note = "folds morsel-boundary partial groups";
+        auto x = MakeExchange(std::move(*slot), dop, cm, proofs);
+        x->est_rows = partials;
+        combine->est_cost =
+            x->est_cost + partials * cm.stream_agg_row;
+        if (combine->est_cost >= serial) {
+          *slot = std::move(x->children[0]);
+          if (x->ordered_merge && !proofs->empty()) proofs->pop_back();
+          return false;
+        }
+        combine->children.push_back(std::move(x));
+        *slot = std::move(combine);
+        return true;
+      }
+      // Non-decomposable (avg) or partial group order: parallelize the
+      // chain below instead — the ordered merge restores the exact serial
+      // stream, so the contiguity proof still holds above it.
+      return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+    }
+    default:
+      if (n->children.empty()) return false;
+      return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation.
+
 /// Counts the rows each node actually emits into its PhysicalNode, so
 /// EXPLAIN can show estimated vs actual per operator.
 class CountingOp : public exec::Operator {
@@ -732,56 +886,232 @@ class CountingOp : public exec::Operator {
 
 exec::OpPtr CompileNode(const PhysicalNode& n,
                         const std::vector<TableRef>& tables,
-                        ExecStats* stats) {
+                        ExecStats* stats, const PlanOptions& opts);
+
+/// The driving scan at the bottom of a fragment template.
+const PhysicalNode& ChainLeaf(const PhysicalNode& n) {
+  return n.children.empty() ? n : ChainLeaf(*n.children[0]);
+}
+
+/// Splits [0, total) into `dop` contiguous near-equal ranges. Fragments
+/// past `total` come out empty — legal (an empty morsel yields an empty
+/// stream) and deliberately exercised by the differential tests.
+std::vector<std::pair<int64_t, int64_t>> SplitRange(int64_t total, int dop) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  const int64_t base = total / dop;
+  const int64_t rem = total % dop;
+  int64_t begin = 0;
+  for (int i = 0; i < dop; ++i) {
+    const int64_t len = base + (i < rem ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+/// Morsel boundaries for the template's driving scan: row ranges for a
+/// table scan, key-order position ranges for an index scan, partition
+/// index ranges for a partitioned scan.
+std::vector<std::pair<int64_t, int64_t>> MorselRanges(
+    const PhysicalNode& tmpl, const std::vector<TableRef>& tables, int dop) {
+  const PhysicalNode& leaf = ChainLeaf(tmpl);
+  const TableRef& t = tables[leaf.table_index];
+  switch (leaf.kind) {
+    case Kind::kScan:
+      return SplitRange(t.table->num_rows(), dop);
+    case Kind::kIndexScan: {
+      int64_t begin = 0, end = t.index->num_rows();
+      if (leaf.range.has_value()) {
+        std::tie(begin, end) =
+            t.index->PositionRange(leaf.range->first, leaf.range->second);
+      }
+      auto out = SplitRange(end - begin, dop);
+      for (auto& r : out) {
+        r.first += begin;
+        r.second += begin;
+      }
+      return out;
+    }
+    case Kind::kPartitionedScan:
+      return SplitRange(t.partitions->num_partitions(), dop);
+    default:
+      throw std::logic_error("MorselRanges: template leaf is not a scan");
+  }
+}
+
+/// Compiles one worker's copy of a fragment template: the driving scan is
+/// replaced by its morsel (row/position/partition range), hash joins probe
+/// the pre-built shared table, and `stats` is the fragment's *private*
+/// ExecStats. No CountingOp wrappers — actual_rows would be written from
+/// every worker at once; the exchange node above is counted instead.
+exec::OpPtr CompileFragment(
+    const PhysicalNode& n, const std::vector<TableRef>& tables,
+    ExecStats* stats, const PlanOptions& opts,
+    std::pair<int64_t, int64_t> morsel,
+    const std::vector<std::shared_ptr<const exec::SharedHashTable>>& shared,
+    size_t* shared_idx) {
+  switch (n.kind) {
+    case Kind::kScan:
+      return exec::ScanRange(tables[n.table_index].table, morsel.first,
+                             morsel.second, stats, opts.batch_rows);
+    case Kind::kIndexScan:
+      return exec::IndexPositionScan(tables[n.table_index].index,
+                                     morsel.first, morsel.second, stats,
+                                     opts.batch_rows);
+    case Kind::kPartitionedScan:
+      return exec::PartitionedScan(tables[n.table_index].partitions, n.range,
+                                   stats, opts.batch_rows,
+                                   static_cast<int>(morsel.first),
+                                   static_cast<int>(morsel.second));
+    case Kind::kFilter:
+      return exec::Filter(CompileFragment(*n.children[0], tables, stats,
+                                          opts, morsel, shared, shared_idx),
+                          n.preds);
+    case Kind::kProject:
+      return exec::Project(CompileFragment(*n.children[0], tables, stats,
+                                           opts, morsel, shared, shared_idx),
+                           n.spec);
+    case Kind::kHashJoin: {
+      auto table = shared[(*shared_idx)++];
+      auto probe = CompileFragment(*n.children[0], tables, stats, opts,
+                                   morsel, shared, shared_idx);
+      return exec::HashProbe(std::move(probe), n.left_key, std::move(table),
+                             stats);
+    }
+    case Kind::kStreamAgg:
+      return exec::StreamAggregate(
+          CompileFragment(*n.children[0], tables, stats, opts, morsel,
+                          shared, shared_idx),
+          n.group_cols, n.aggs);
+    default:
+      throw std::logic_error("CompileFragment: node is not fragment-safe");
+  }
+}
+
+/// Pre-builds the shared hash tables of every kHashJoin on the template's
+/// driving chain, in the same pre-order CompileFragment consumes them.
+/// Build sides run once, single-threaded, against the main `stats`.
+void BuildSharedTables(
+    const PhysicalNode& n, const std::vector<TableRef>& tables,
+    ExecStats* stats, const PlanOptions& opts,
+    std::vector<std::shared_ptr<const exec::SharedHashTable>>* out) {
+  if (n.kind == Kind::kHashJoin) {
+    out->push_back(exec::BuildSharedHash(
+        CompileNode(*n.children[1], tables, stats, opts), n.right_key,
+        stats));
+  }
+  if (!n.children.empty()) {
+    BuildSharedTables(*n.children[0], tables, stats, opts, out);
+  }
+}
+
+exec::OpPtr CompileNode(const PhysicalNode& n,
+                        const std::vector<TableRef>& tables,
+                        ExecStats* stats, const PlanOptions& opts) {
   exec::OpPtr op;
   switch (n.kind) {
     case Kind::kScan:
-      op = exec::Scan(tables[n.table_index].table, stats);
+      op = exec::Scan(tables[n.table_index].table, stats, opts.batch_rows);
       break;
     case Kind::kIndexScan:
-      op = exec::IndexRangeScan(tables[n.table_index].index, n.range, stats);
+      op = exec::IndexRangeScan(tables[n.table_index].index, n.range, stats,
+                                opts.batch_rows);
       break;
     case Kind::kPartitionedScan:
       op = exec::PartitionedScan(tables[n.table_index].partitions, n.range,
-                                 stats);
+                                 stats, opts.batch_rows);
       break;
     case Kind::kFilter:
-      op = exec::Filter(CompileNode(*n.children[0], tables, stats), n.preds);
+      op = exec::Filter(CompileNode(*n.children[0], tables, stats, opts),
+                        n.preds);
       break;
     case Kind::kProject:
-      op = exec::Project(CompileNode(*n.children[0], tables, stats), n.spec);
+      op = exec::Project(CompileNode(*n.children[0], tables, stats, opts),
+                         n.spec);
       break;
     case Kind::kSort:
-      op = exec::Sort(CompileNode(*n.children[0], tables, stats), n.spec,
-                      stats);
+      if (opts.spill_budget_rows >= 0) {
+        exec::SortOptions so;
+        so.memory_budget_rows = opts.spill_budget_rows;
+        so.temp_dir = opts.spill_dir;
+        op = exec::ExternalSort(
+            CompileNode(*n.children[0], tables, stats, opts), n.spec, so,
+            stats, opts.batch_rows);
+      } else {
+        op = exec::Sort(CompileNode(*n.children[0], tables, stats, opts),
+                        n.spec, stats, opts.batch_rows);
+      }
       break;
     case Kind::kTopK:
-      op = exec::TopK(CompileNode(*n.children[0], tables, stats), n.spec,
-                      n.limit, stats);
+      op = exec::TopK(CompileNode(*n.children[0], tables, stats, opts),
+                      n.spec, n.limit, stats);
       break;
     case Kind::kLimit:
-      op = exec::Limit(CompileNode(*n.children[0], tables, stats), n.limit);
+      op = exec::Limit(CompileNode(*n.children[0], tables, stats, opts),
+                       n.limit);
       break;
     case Kind::kStreamAgg:
-      op = exec::StreamAggregate(CompileNode(*n.children[0], tables, stats),
-                                 n.group_cols, n.aggs);
+      op = exec::StreamAggregate(
+          CompileNode(*n.children[0], tables, stats, opts), n.group_cols,
+          n.aggs);
       break;
     case Kind::kHashAgg:
-      op = exec::HashAggregate(CompileNode(*n.children[0], tables, stats),
-                               n.group_cols, n.aggs);
+      op = exec::HashAggregate(
+          CompileNode(*n.children[0], tables, stats, opts), n.group_cols,
+          n.aggs);
       break;
     case Kind::kMergeJoin:
-      op = exec::MergeJoin(CompileNode(*n.children[0], tables, stats),
+      op = exec::MergeJoin(CompileNode(*n.children[0], tables, stats, opts),
                            n.left_key,
-                           CompileNode(*n.children[1], tables, stats),
+                           CompileNode(*n.children[1], tables, stats, opts),
                            n.right_key, stats);
       break;
     case Kind::kHashJoin:
-      op = exec::HashJoin(CompileNode(*n.children[0], tables, stats),
+      op = exec::HashJoin(CompileNode(*n.children[0], tables, stats, opts),
                           n.left_key,
-                          CompileNode(*n.children[1], tables, stats),
+                          CompileNode(*n.children[1], tables, stats, opts),
                           n.right_key, stats);
       break;
+    case Kind::kExchange: {
+      const PhysicalNode& tmpl = *n.children[0];
+      std::vector<std::shared_ptr<const exec::SharedHashTable>> shared;
+      BuildSharedTables(tmpl, tables, stats, opts, &shared);
+      const auto ranges = MorselRanges(tmpl, tables, n.dop);
+      // The exchange constructor consumes the factory synchronously, so
+      // capturing the locals by reference is safe.
+      exec::FragmentFactory factory = [&](int f, ExecStats* fs) {
+        size_t idx = 0;
+        return CompileFragment(tmpl, tables, fs, opts, ranges[f], shared,
+                               &idx);
+      };
+      op = exec::Exchange(n.dop, factory,
+                          n.ordered_merge ? exec::MergeMode::kOrderedMerge
+                                          : exec::MergeMode::kUnion,
+                          n.spec, opts.pool, stats, opts.batch_rows);
+      break;
+    }
+    case Kind::kParallelHashAgg: {
+      const PhysicalNode& tmpl = *n.children[0];
+      std::vector<std::shared_ptr<const exec::SharedHashTable>> shared;
+      BuildSharedTables(tmpl, tables, stats, opts, &shared);
+      const auto ranges = MorselRanges(tmpl, tables, n.dop);
+      exec::FragmentFactory factory = [&](int f, ExecStats* fs) {
+        size_t idx = 0;
+        return CompileFragment(tmpl, tables, fs, opts, ranges[f], shared,
+                               &idx);
+      };
+      op = exec::ParallelHashAggregate(n.dop, factory, n.group_cols, n.aggs,
+                                       opts.pool, stats, opts.batch_rows);
+      break;
+    }
+    case Kind::kCombinePartials: {
+      std::vector<engine::AggSpec::Kind> kinds;
+      for (const auto& a : n.aggs) kinds.push_back(a.kind);
+      op = exec::CombinePartialAggregates(
+          CompileNode(*n.children[0], tables, stats, opts),
+          static_cast<int>(n.group_cols.size()), std::move(kinds));
+      break;
+    }
   }
   return std::make_unique<CountingOp>(std::move(op), &n);
 }
@@ -800,6 +1130,9 @@ const char* KindName(Kind k) {
     case Kind::kHashAgg: return "HashAggregate";
     case Kind::kMergeJoin: return "MergeJoin";
     case Kind::kHashJoin: return "HashJoin";
+    case Kind::kExchange: return "Exchange";
+    case Kind::kParallelHashAgg: return "ParallelHashAggregate";
+    case Kind::kCombinePartials: return "CombinePartialAggregates";
   }
   return "?";
 }
@@ -809,6 +1142,13 @@ void ExplainNode(const PhysicalNode& n, int indent, std::string* out) {
   *out += KindName(n.kind);
   if (n.kind == Kind::kSort || n.kind == Kind::kTopK) {
     *out += " by " + SpecString(n.spec);
+  }
+  if (n.kind == Kind::kExchange) {
+    *out += " dop=" + std::to_string(n.dop);
+    *out += n.ordered_merge ? " merge=" + SpecString(n.spec) : " union";
+  }
+  if (n.kind == Kind::kParallelHashAgg) {
+    *out += " dop=" + std::to_string(n.dop);
   }
   if (n.kind == Kind::kTopK || n.kind == Kind::kLimit) {
     *out += " k=" + std::to_string(n.limit);
@@ -889,6 +1229,9 @@ PlanPtr ToPlanNode(const PhysicalNode& n, const std::vector<TableRef>& tabs) {
     }
     case Kind::kTopK:
     case Kind::kLimit:
+    case Kind::kExchange:
+    case Kind::kParallelHashAgg:
+    case Kind::kCombinePartials:
       return nullptr;  // no materializing counterpart
   }
   return nullptr;
@@ -897,7 +1240,7 @@ PlanPtr ToPlanNode(const PhysicalNode& n, const std::vector<TableRef>& tabs) {
 }  // namespace
 
 exec::OpPtr PhysicalPlan::Compile(ExecStats* stats) const {
-  return CompileNode(*root_, tables_, stats);
+  return CompileNode(*root_, tables_, stats, options_);
 }
 
 engine::Table PhysicalPlan::Execute(ExecStats* stats) const {
@@ -926,12 +1269,20 @@ PlanPtr PhysicalPlan::ToMaterializingPlan() const {
   return ToPlanNode(*root_, tables_);
 }
 
-PhysicalPlan PlanQuery(const LogicalQuery& q, const CostModel& cost) {
+PhysicalPlan PlanQuery(const LogicalQuery& q, const CostModel& cost,
+                       const PlanOptions& options) {
+  if (options.dop < 1) {
+    throw std::invalid_argument("PlanQuery: dop must be >= 1");
+  }
   Planner planner(q, cost);
   Cand winner = planner.Plan();
+  if (options.dop > 1) {
+    ParallelizeSlot(&winner.node, options.dop, cost, &winner.proofs);
+  }
   PhysicalPlan plan;
   plan.root_ = std::move(winner.node);
   plan.tables_ = q.tables;
+  plan.options_ = options;
   plan.sorts_elided_ = winner.sorts_elided;
   plan.joins_elided_ = winner.joins_elided;
   plan.proofs_ = std::move(winner.proofs);

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/index.h"
 #include "engine/ops.h"
 #include "engine/partition.h"
@@ -42,9 +43,36 @@ struct CostModel {
   /// Selectivity guesses when no index can answer exactly.
   double eq_selectivity = 0.1;
   double range_selectivity = 0.3;
+  /// Parallel-plan costing: moving one row through an exchange boundary
+  /// (fragment materialize + union/merge emit), and the fixed per-fragment
+  /// startup tax that keeps the planner from parallelizing tiny inputs.
+  double exchange_row = 0.6;
+  double fragment_startup = 2000.0;
 
   double SortCost(double rows) const;
   double TopKCost(double rows, double k) const;
+};
+
+/// Execution-strategy knobs of PlanQuery, orthogonal to the logical query:
+/// how parallel, how memory-bounded, how batched. The defaults reproduce
+/// the serial in-memory executor exactly.
+struct PlanOptions {
+  /// Degree of parallelism: number of morsel fragments the driving
+  /// pipeline is split into. 1 = serial (no exchange anywhere). The plan
+  /// records the dop it was built for; Compile/Execute then need `pool`.
+  int dop = 1;
+  /// Pool the exchange drains fragments on at execution time. Null with
+  /// dop > 1 runs fragments serially (same results, no speedup) — handy in
+  /// tests. Never nested: one exchange per plan, planner-enforced.
+  common::ThreadPool* pool = nullptr;
+  /// When >= 0, every Sort enforcer compiles to an ExternalSort that holds
+  /// at most this many rows in memory before spilling a sorted run to
+  /// disk. < 0 = in-memory sorts (the default).
+  int64_t spill_budget_rows = -1;
+  /// Directory for spilled runs (empty: the system temp dir).
+  std::string spill_dir;
+  /// Batch granularity of compiled operators.
+  int64_t batch_rows = exec::kDefaultBatchRows;
 };
 
 /// One table of a logical query plus its physical access paths and its
@@ -102,6 +130,18 @@ struct PhysicalNode {
     kHashAgg,
     kMergeJoin,
     kHashJoin,
+    /// Morsel exchange: children[0] is the *fragment template* — the
+    /// driving chain each of `dop` workers runs over its own row-range
+    /// morsel. `spec` holds the merge order when `ordered_merge` (the
+    /// OD-proven order-preserving k-way merge); union otherwise.
+    kExchange,
+    /// Partition-parallel GROUP BY: children[0] is the pre-aggregation
+    /// fragment template; thread-local accumulator build, merged exact.
+    kParallelHashAgg,
+    /// Combines adjacent equal-group partial rows after an ordered
+    /// exchange of per-fragment stream aggregates (children[0] is the
+    /// kExchange node).
+    kCombinePartials,
   };
 
   Kind kind;
@@ -115,6 +155,8 @@ struct PhysicalNode {
   engine::ColumnId left_key = -1;
   engine::ColumnId right_key = -1;
   int64_t limit = 0;
+  int dop = 1;                ///< fragments of a kExchange/kParallelHashAgg
+  bool ordered_merge = false; ///< kExchange recombination mode
 
   double est_rows = 0;
   double est_cost = 0;  ///< cumulative (this node + children)
@@ -143,6 +185,11 @@ class PhysicalPlan {
   /// Human-readable OD proofs behind each elided enforcer.
   const std::vector<std::string>& proofs() const { return proofs_; }
 
+  /// The execution options the plan was built for (dop, spill budget,
+  /// batch size, pool) — Compile reads them, so a plan carries its own
+  /// parallelism.
+  const PlanOptions& options() const { return options_; }
+
   exec::OpPtr Compile(ExecStats* stats) const;
   engine::Table Execute(ExecStats* stats) const;
   std::string Explain() const;
@@ -153,10 +200,12 @@ class PhysicalPlan {
   PlanPtr ToMaterializingPlan() const;
 
  private:
-  friend PhysicalPlan PlanQuery(const LogicalQuery&, const CostModel&);
+  friend PhysicalPlan PlanQuery(const LogicalQuery&, const CostModel&,
+                                const PlanOptions&);
 
   std::unique_ptr<PhysicalNode> root_;
   std::vector<TableRef> tables_;  // pointers the compiled operators read
+  PlanOptions options_;
   int sorts_elided_ = 0;
   int joins_elided_ = 0;
   std::vector<std::string> proofs_;
@@ -168,8 +217,19 @@ class PhysicalPlan {
 /// elimination — proving enforcers unnecessary via each table's
 /// OrderReasoner wherever the declared ODs allow, and returns the cheapest
 /// plan under `cost`. Throws std::invalid_argument on malformed queries.
+///
+/// With `options.dop > 1` a parallelization pass follows the serial
+/// enumeration: the winner's driving chain (scan/filter/project/hash-probe)
+/// is cut into `dop` row-range morsels behind an exchange — recombined by
+/// an OD-proven order-preserving merge when the chain carries an ordering
+/// property (so parallelism never reintroduces an elided sort), a plain
+/// union otherwise — hash aggregation becomes thread-local build + merge,
+/// and stream aggregation becomes per-fragment partials + ordered merge +
+/// combine. The parallel plan is adopted only when the cost model says the
+/// fan-out pays for the exchange overhead.
 PhysicalPlan PlanQuery(const LogicalQuery& q,
-                       const CostModel& cost = CostModel());
+                       const CostModel& cost = CostModel(),
+                       const PlanOptions& options = PlanOptions());
 
 }  // namespace opt
 }  // namespace od

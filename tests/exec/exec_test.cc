@@ -368,6 +368,76 @@ TEST(OperatorContractTest, InvalidColumnIdsThrow) {
   EXPECT_THROW(HashJoin(Scan(&t), 1, Scan(&t), 1), std::invalid_argument);
 }
 
+TEST(OperatorContractTest, DrainingTheSameTreeTwiceThrows) {
+  Table t = MakeKv(100, 3);
+  OpPtr op = Sort(Scan(&t), {0});
+  Drain(op.get());
+  // Operators are single-use; a second drain would silently return empty
+  // rows without the StartConsume guard.
+  EXPECT_THROW(Drain(op.get()), std::logic_error);
+}
+
+TEST(OperatorContractTest, SinksRejectAlreadyConsumedChildren) {
+  Table t = MakeKv(100, 3);
+  OpPtr scan = Scan(&t);
+  Drain(scan.get());
+  OpPtr sort = Sort(std::move(scan), {0});
+  Batch b;
+  EXPECT_THROW(sort->Next(&b), std::logic_error);
+}
+
+TEST(CheckOrderTest, PassesAnHonestOrderingClaim) {
+  Table t = MakeKv(5000, 7);
+  OpPtr op = CheckOrder(Sort(Scan(&t, nullptr, /*batch_rows=*/3), {0, 1}));
+  Table out = Drain(op.get());
+  EXPECT_EQ(out.num_rows(), 5000);
+  EXPECT_TRUE(engine::IsSortedBy(out, {0, 1}));
+}
+
+TEST(CheckOrderTest, NoClaimMeansNoChecking) {
+  Table t = MakeKv(100, 7);  // unsorted by k, but Scan claims nothing
+  OpPtr op = CheckOrder(Scan(&t));
+  EXPECT_EQ(Drain(op.get()).num_rows(), 100);
+}
+
+// An operator that *lies* about its ordering property: forwards the
+// child's (unsorted) stream while claiming it is sorted by `spec`.
+class LyingOp : public Operator {
+ public:
+  LyingOp(OpPtr child, engine::SortSpec claim) : child_(std::move(child)) {
+    schema_ = child_->schema();
+    ordering_ = std::move(claim);
+  }
+  bool Next(Batch* out) override { return child_->Next(out); }
+  std::string Describe(int indent) const override {
+    return Pad(indent) + "Lying\n" + child_->Describe(indent + 1);
+  }
+
+ private:
+  OpPtr child_;
+};
+
+TEST(CheckOrderTest, CatchesAFalseClaimAcrossBatchBoundaries) {
+  Table t = MakeKv(100, 7);  // k cycles 0..6: descends at every wrap
+  // Single-row batches: the only adjacent pairs are across batches.
+  OpPtr op = CheckOrder(std::make_unique<LyingOp>(
+      Scan(&t, nullptr, /*batch_rows=*/1), engine::SortSpec{0}));
+  EXPECT_THROW(Drain(op.get()), std::logic_error);
+}
+
+TEST(CheckOrderTest, NanDoublesTieUnderTheClaim) {
+  // NaNs order after every value and tie with each other — a stream
+  // sorted that way must pass the checker (od::CompareDoubles semantics).
+  Schema s;
+  s.Add("x", DataType::kDouble);
+  Table t(s);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double v : {1.0, 2.0, 2.0, nan, nan}) t.AppendRow({Value(v)});
+  OpPtr op = CheckOrder(
+      std::make_unique<LyingOp>(Scan(&t, nullptr, 2), engine::SortSpec{0}));
+  EXPECT_EQ(Drain(op.get()).num_rows(), 5);
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace od

@@ -207,6 +207,34 @@ TEST_F(DatePlannerTest, AllThirteenQueriesAgreeWithBaseline) {
   }
 }
 
+TEST_F(DatePlannerTest, EveryPlansOrderingClaimSurvivesCheckOrder) {
+  // Drain every warehouse plan through exec::CheckOrder: a plan whose
+  // compiled root claims an ordering it does not deliver throws. This
+  // turns the planner's OD proofs into executed assertions, not comments.
+  auto run_checked = [](const PhysicalPlan& plan, ExecStats* stats) {
+    exec::OpPtr op = exec::CheckOrder(plan.Compile(stats));
+    return exec::Drain(op.get(), stats);
+  };
+  const auto queries = warehouse::TpcdsDateQueries(kStartYear, kYears);
+  for (const auto& dq : queries) {
+    LogicalQuery q = warehouse::ToLogicalQuery(
+        dq, &fact_, &dim_, index_.get(), parts_.get(), dim_ods_);
+    PhysicalPlan plan = PlanQuery(q);
+    ExecStats stats;
+    Table via_check = run_checked(plan, &stats);
+    ExecStats ref_stats;
+    Table direct = PlanQuery(q).Execute(&ref_stats);
+    EXPECT_TRUE(engine::SameRowMultiset(direct, via_check)) << dq.name;
+  }
+  LogicalQuery daily = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), dim_ods_, kStartYear + 1);
+  PhysicalPlan plan = PlanQuery(daily);
+  ASSERT_FALSE(plan.root().out_ordering.empty());
+  ExecStats stats;
+  Table out = run_checked(plan, &stats);
+  EXPECT_TRUE(engine::IsSortedBy(out, plan.root().out_ordering));
+}
+
 TEST_F(DatePlannerTest, KeptJoinPrefersMergeWhenOrderIsProvided) {
   // No dim predicates ⇒ the join cannot be elided; with the fact index
   // stream providing the key order, merge join beats hash join and the
