@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Observability-overhead gate: OD_TRACE=ON must cost <= --threshold.
+
+Builds the repo twice — once with -DOD_TRACE=OFF (spans compiled out
+entirely) and once with the default ON — run the same hot-loop benchmarks
+in both, and this gate compares them name by name. It is self-relative
+(both runs happen on the machine under test back to back), so it needs no
+machine-matched baselines; run benchmarks with --benchmark_repetitions to
+median away scheduler noise (aggregate entries are preferred when present).
+
+Usage (what CI does):
+  ./build-notrace/bench/bench_prover --benchmark_filter=BM_CachedImplication \
+      --benchmark_repetitions=7 --benchmark_format=json \
+      --benchmark_out=/tmp/off.json --benchmark_out_format=json
+  ./build/bench/bench_prover ... --benchmark_out=/tmp/on.json ...
+  python3 bench/check_overhead.py --off /tmp/off.json --on /tmp/on.json \
+      --threshold 1.05 --require BM_CachedImplication
+
+Exit status: 0 pass, 1 any required benchmark slower than OFF x threshold
+or a --require pattern that matched nothing (a renamed bench must not
+silently disarm the gate).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_times(path):
+    """{benchmark name: real_time ns}, preferring the median aggregate."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    medians = {}
+    for b in doc.get("benchmarks", []):
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            b.get("time_unit", "ns")]
+        ns = b["real_time"] * unit
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name.rsplit("_median", 1)[0]] = ns
+        else:
+            # Repetitions share a name; keep the fastest (least noisy).
+            times[name] = min(ns, times.get(name, float("inf")))
+    times.update(medians)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--off", required=True,
+                    help="JSON from the -DOD_TRACE=OFF build")
+    ap.add_argument("--on", required=True,
+                    help="JSON from the default (traced) build")
+    ap.add_argument("--threshold", type=float, default=1.05,
+                    help="max allowed on/off time ratio (1.05 = 5%% budget)")
+    ap.add_argument("--require", action="append", default=[],
+                    help="regex; every matching benchmark is enforced "
+                         "(repeatable). Others are reported as info.")
+    args = ap.parse_args()
+
+    off = load_times(args.off)
+    on = load_times(args.on)
+    common = sorted(set(off) & set(on))
+    if not common:
+        print("ERROR: no benchmark names in common between the two runs")
+        return 1
+
+    failures = 0
+    enforced = {r: 0 for r in args.require}
+    for name in common:
+        if off[name] <= 0:
+            continue
+        ratio = on[name] / off[name]
+        matched = [r for r in args.require if re.search(r, name)]
+        for r in matched:
+            enforced[r] += 1
+        verdict = "ok"
+        if matched and ratio > args.threshold:
+            verdict = f"FAIL (> {args.threshold:.2f}x budget)"
+            failures += 1
+        elif not matched:
+            verdict = "info"
+        print(f"{name}: off={off[name]:.1f}ns on={on[name]:.1f}ns "
+              f"ratio={ratio:.3f} [{verdict}]")
+    for r, n in enforced.items():
+        if n == 0:
+            print(f"ERROR: --require {r} matched no benchmark")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,547 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace od {
+namespace common {
+
+namespace metrics_internal {
+
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace metrics_internal
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+namespace {
+
+/// Smallest i with v <= 2^i, clamped to the bucket range; v <= 1 -> 0.
+int BucketIndex(int64_t v) {
+  if (v <= 1) return 0;
+  // bit_width(v - 1): index of the highest set bit of v-1, plus one.
+  const uint64_t x = static_cast<uint64_t>(v - 1);
+  const int width = 64 - __builtin_clzll(x);
+  return width >= Histogram::kBuckets - 1 ? Histogram::kBuckets - 1 : width;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i);  // 2^i
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+namespace {
+
+std::string FullKey(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+}  // namespace
+
+MetricRegistry::Entry& MetricRegistry::FindOrCreate(
+    Entry::Kind kind, const std::string& name, const std::string& help,
+    const std::string& labels) {
+  const std::string key = FullKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.kind != kind) {
+      throw std::invalid_argument("MetricRegistry: '" + key +
+                                  "' already registered with another type");
+    }
+    return e;
+  }
+  Entry e;
+  e.kind = kind;
+  e.name = name;
+  e.help = help;
+  e.labels = labels;
+  switch (kind) {
+    case Entry::Kind::kCounter: e.counter = new Counter(); break;
+    case Entry::Kind::kGauge: e.gauge = new Gauge(); break;
+    case Entry::Kind::kHistogram: e.histogram = new Histogram(); break;
+  }
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const std::string& labels) {
+  return *FindOrCreate(Entry::Kind::kCounter, name, help, labels).counter;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const std::string& labels) {
+  return *FindOrCreate(Entry::Kind::kGauge, name, help, labels).gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const std::string& labels) {
+  return *FindOrCreate(Entry::Kind::kHistogram, name, help, labels).histogram;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const Entry& e : entries_) {
+    const std::string key = FullKey(e.name, e.labels);
+    switch (e.kind) {
+      case Entry::Kind::kCounter:
+        snap.counters[key] = e.counter->Value();
+        break;
+      case Entry::Kind::kGauge:
+        snap.gauges[key] = e.gauge->Value();
+        break;
+      case Entry::Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.sum = e.histogram->Sum();
+        int highest = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (e.histogram->BucketCount(i) > 0) highest = i;
+        }
+        int64_t cumulative = 0;
+        for (int i = 0; i <= highest; ++i) {
+          cumulative += e.histogram->BucketCount(i);
+          h.buckets.emplace_back(Histogram::BucketUpperBound(i), cumulative);
+        }
+        // The +Inf bucket always closes the list (Prometheus requires it).
+        if (highest < Histogram::kBuckets - 1) {
+          cumulative += e.histogram->BucketCount(Histogram::kBuckets - 1);
+          h.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                                 cumulative);
+        }
+        h.count = cumulative;
+        snap.histograms[key] = std::move(h);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    switch (e.kind) {
+      case Entry::Kind::kCounter: e.counter->Reset(); break;
+      case Entry::Kind::kGauge: e.gauge->Reset(); break;
+      case Entry::Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. The emitted grammar is deliberately tiny (string keys,
+// int64 values, one histogram object shape), so the parsers below can be
+// exact inverses without a general JSON library.
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string DoubleToString(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal scanner over the serializers' own output.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : s_(text) {}
+
+  void SkipWs() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\t' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return i_ >= s_.size();
+  }
+  char Peek() {
+    SkipWs();
+    if (i_ >= s_.size()) Fail("unexpected end of input");
+    return s_[i_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+  bool Consume(char c) {
+    if (AtEnd() || s_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+  std::string String() {
+    Expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\' && i_ + 1 < s_.size()) ++i_;
+      out.push_back(s_[i_++]);
+    }
+    if (i_ >= s_.size()) Fail("unterminated string");
+    ++i_;  // closing quote
+    return out;
+  }
+  int64_t Int() {
+    SkipWs();
+    size_t end = i_;
+    if (end < s_.size() && (s_[end] == '-' || s_[end] == '+')) ++end;
+    while (end < s_.size() && s_[end] >= '0' && s_[end] <= '9') ++end;
+    if (end == i_) Fail("expected integer");
+    const int64_t v = std::stoll(s_.substr(i_, end - i_));
+    i_ = end;
+    return v;
+  }
+  double Double() {
+    SkipWs();
+    if (i_ < s_.size() && s_[i_] == '"') {
+      const std::string word = String();
+      if (word == "+Inf") return std::numeric_limits<double>::infinity();
+      if (word == "-Inf") return -std::numeric_limits<double>::infinity();
+      Fail("unexpected quoted number '" + word + "'");
+    }
+    size_t used = 0;
+    const double v = std::stod(s_.substr(i_), &used);
+    if (used == 0) Fail("expected number");
+    i_ += used;
+    return v;
+  }
+  [[noreturn]] void Fail(const std::string& why) {
+    throw std::invalid_argument("metrics parse error at offset " +
+                                std::to_string(i_) + ": " + why);
+  }
+
+ private:
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+std::string MetricRegistry::ToJson(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(key, &out);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(key, &out);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [key, h] : snap.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(key, &out);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": " + DoubleToString(h.buckets[i].first) +
+             ", \"count\": " + std::to_string(h.buckets[i].second) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsSnapshot MetricRegistry::FromJson(const std::string& text) {
+  MetricsSnapshot snap;
+  Cursor c(text);
+  c.Expect('{');
+  for (int section = 0; section < 3; ++section) {
+    const std::string name = c.String();
+    c.Expect(':');
+    c.Expect('{');
+    if (!c.Consume('}')) {
+      do {
+        const std::string key = c.String();
+        c.Expect(':');
+        if (name == "counters") {
+          snap.counters[key] = c.Int();
+        } else if (name == "gauges") {
+          snap.gauges[key] = c.Int();
+        } else if (name == "histograms") {
+          HistogramSnapshot h;
+          c.Expect('{');
+          for (int field = 0; field < 3; ++field) {
+            const std::string f = c.String();
+            c.Expect(':');
+            if (f == "count") {
+              h.count = c.Int();
+            } else if (f == "sum") {
+              h.sum = c.Int();
+            } else if (f == "buckets") {
+              c.Expect('[');
+              if (!c.Consume(']')) {
+                do {
+                  c.Expect('{');
+                  double le = 0;
+                  int64_t count = 0;
+                  for (int bf = 0; bf < 2; ++bf) {
+                    const std::string b = c.String();
+                    c.Expect(':');
+                    if (b == "le") {
+                      le = c.Double();
+                    } else if (b == "count") {
+                      count = c.Int();
+                    } else {
+                      c.Fail("unknown bucket field '" + b + "'");
+                    }
+                    if (bf == 0) c.Expect(',');
+                  }
+                  c.Expect('}');
+                  h.buckets.emplace_back(le, count);
+                } while (c.Consume(','));
+                c.Expect(']');
+              }
+            } else {
+              c.Fail("unknown histogram field '" + f + "'");
+            }
+            if (field < 2) c.Expect(',');
+          }
+          c.Expect('}');
+          snap.histograms[key] = std::move(h);
+        } else {
+          c.Fail("unknown section '" + name + "'");
+        }
+      } while (c.Consume(','));
+      c.Expect('}');
+    }
+    if (section < 2) c.Expect(',');
+  }
+  c.Expect('}');
+  if (!c.AtEnd()) c.Fail("trailing input");
+  return snap;
+}
+
+namespace {
+
+/// Splits "name{labels}" into its parts; labels comes back empty when the
+/// key has none.
+void SplitKey(const std::string& key, std::string* name,
+              std::string* labels) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    labels->clear();
+  } else {
+    *name = key.substr(0, brace);
+    *labels = key.substr(brace + 1, key.size() - brace - 2);
+  }
+}
+
+std::string PromKey(const std::string& name, const std::string& suffix,
+                    const std::string& labels,
+                    const std::string& extra_label = "") {
+  std::string body = labels;
+  if (!extra_label.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra_label;
+  }
+  std::string out = name + suffix;
+  if (!body.empty()) out += "{" + body + "}";
+  return out;
+}
+
+std::string PromDouble(double v) {
+  if (std::isinf(v)) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricRegistry::ToPrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string name, labels;
+  std::string last_typed;
+  auto type_line = [&](const std::string& n, const char* type) {
+    if (n != last_typed) {
+      out += "# TYPE " + n + " " + type + "\n";
+      last_typed = n;
+    }
+  };
+  for (const auto& [key, value] : snap.counters) {
+    SplitKey(key, &name, &labels);
+    type_line(name, "counter");
+    out += PromKey(name, "", labels) + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, value] : snap.gauges) {
+    SplitKey(key, &name, &labels);
+    type_line(name, "gauge");
+    out += PromKey(name, "", labels) + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, h] : snap.histograms) {
+    SplitKey(key, &name, &labels);
+    type_line(name, "histogram");
+    for (const auto& [le, cumulative] : h.buckets) {
+      out += PromKey(name, "_bucket", labels, "le=\"" + PromDouble(le) +
+                                                  "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += PromKey(name, "_sum", labels) + " " + std::to_string(h.sum) + "\n";
+    out += PromKey(name, "_count", labels) + " " + std::to_string(h.count) +
+           "\n";
+  }
+  return out;
+}
+
+MetricsSnapshot MetricRegistry::FromPrometheusText(const std::string& text) {
+  MetricsSnapshot snap;
+  // TYPE declarations tell us which section each sample belongs to.
+  std::map<std::string, std::string> types;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <type>"
+      Cursor c(line);
+      c.Expect('#');
+      c.SkipWs();
+      if (line.find("# TYPE ") == 0) {
+        const size_t name_begin = 7;
+        const size_t name_end = line.find(' ', name_begin);
+        if (name_end == std::string::npos) {
+          throw std::invalid_argument("metrics parse error: bad TYPE line");
+        }
+        types[line.substr(name_begin, name_end - name_begin)] =
+            line.substr(name_end + 1);
+      }
+      continue;
+    }
+    // "<name>[{labels}] <value>"
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      throw std::invalid_argument("metrics parse error: bad sample line '" +
+                                  line + "'");
+    }
+    std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    std::string name, labels;
+    SplitKey(key, &name, &labels);
+
+    // Histogram series: name ends with _bucket/_sum/_count and the base
+    // name is TYPEd histogram.
+    auto base_of = [&](const std::string& suffix) -> std::string {
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        const std::string base =
+            name.substr(0, name.size() - suffix.size());
+        auto it = types.find(base);
+        if (it != types.end() && it->second == "histogram") return base;
+      }
+      return "";
+    };
+    std::string base;
+    if (!(base = base_of("_bucket")).empty()) {
+      // Extract (and drop) the le label — it is ours, not the metric's.
+      const std::string marker = "le=\"";
+      const size_t le_pos = labels.rfind(marker);
+      if (le_pos == std::string::npos) {
+        throw std::invalid_argument(
+            "metrics parse error: _bucket without le label");
+      }
+      const size_t le_end = labels.find('"', le_pos + marker.size());
+      std::string le_str =
+          labels.substr(le_pos + marker.size(), le_end - le_pos -
+                                                    marker.size());
+      std::string rest = labels.substr(0, le_pos);
+      if (!rest.empty() && rest.back() == ',') rest.pop_back();
+      const double le = le_str == "+Inf"
+                            ? std::numeric_limits<double>::infinity()
+                            : std::stod(le_str);
+      snap.histograms[FullKey(base, rest)].buckets.emplace_back(
+          le, std::stoll(value));
+    } else if (!(base = base_of("_sum")).empty()) {
+      snap.histograms[FullKey(base, labels)].sum = std::stoll(value);
+    } else if (!(base = base_of("_count")).empty()) {
+      snap.histograms[FullKey(base, labels)].count = std::stoll(value);
+    } else {
+      auto it = types.find(name);
+      if (it == types.end()) {
+        throw std::invalid_argument(
+            "metrics parse error: sample '" + name + "' has no TYPE");
+      }
+      if (it->second == "counter") {
+        snap.counters[key] = std::stoll(value);
+      } else if (it->second == "gauge") {
+        snap.gauges[key] = std::stoll(value);
+      } else {
+        throw std::invalid_argument("metrics parse error: unknown type '" +
+                                    it->second + "'");
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace common
+}  // namespace od

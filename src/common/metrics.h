@@ -1,0 +1,203 @@
+#ifndef OD_COMMON_METRICS_H_
+#define OD_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace od {
+namespace common {
+
+/// Process-wide metrics: counters, gauges, and log-scale histograms,
+/// registered by name (plus optional Prometheus-style labels) in a global
+/// `MetricRegistry` and exported as JSON or Prometheus text exposition
+/// format.
+///
+/// Design constraints, in order:
+///   1. The *record* path must be safe and cheap from any thread — prover
+///      queries, pool workers, and exchange fragments all tick counters
+///      concurrently. Counters are sharded across cache lines (each thread
+///      hashes to a shard by a thread-local slot), so hot counters never
+///      bounce one line between cores; histograms use relaxed atomics per
+///      bucket. No locks anywhere on the record path.
+///   2. Registration is rare (once per call site, cached in a reference),
+///      so `GetCounter`/`GetGauge`/`GetHistogram` take a mutex and return a
+///      stable reference — metrics are never destroyed while the process
+///      lives, exactly like the underlying `static` registries they join.
+///   3. Snapshots are wait-free for writers: readers sum the shards with
+///      relaxed loads. A snapshot taken while writers run is a consistent
+///      "some recent value" per metric, not a cross-metric atomic cut —
+///      the standard contract of scrape-based metrics.
+
+namespace metrics_internal {
+/// Small dense thread slot for shard selection (monotonically assigned,
+/// never reused; only its value mod kShards matters).
+uint32_t ThreadSlot();
+}  // namespace metrics_internal
+
+/// A monotonically increasing counter. Writers call `Add`; `Value` sums
+/// the shards. Obtain instances from MetricRegistry::GetCounter.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(int64_t delta = 1) {
+    shards_[metrics_internal::ThreadSlot() % kShards].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes the counter (tests and bench resets only; not atomic with
+  /// respect to concurrent Adds).
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A value that can go up and down (e.g. live memo entries).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A histogram with fixed log-scale (power-of-two) buckets: bucket i
+/// counts observations v with v <= 2^i (non-cumulatively: the smallest
+/// such i), for i in [0, kBuckets-2]; the last bucket is +Inf overflow.
+/// Values <= 1 (including negatives) land in bucket 0. `Record` is three
+/// relaxed atomic ops — no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t v);
+
+  int64_t Count() const;
+  /// Sum of recorded values (saturating semantics not needed at our rates).
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (2^i; +Inf for the last bucket,
+  /// reported as infinity()).
+  static double BucketUpperBound(int i);
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets]{};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// One exported histogram: total count, sum, and cumulative bucket counts
+/// as (upper_bound, cumulative_count) pairs — the Prometheus shape. Only
+/// buckets up to the highest non-empty one are listed, plus the +Inf
+/// bucket.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  std::vector<std::pair<double, int64_t>> buckets;  // (le, cumulative)
+
+  bool operator==(const HistogramSnapshot& o) const {
+    return count == o.count && sum == o.sum && buckets == o.buckets;
+  }
+};
+
+/// A point-in-time export of every registered metric, keyed by
+/// `name{labels}` (bare `name` when the metric has no labels). Round-trips
+/// losslessly through both serializers below — asserted by tests.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot& o) const {
+    return counters == o.counters && gauges == o.gauges &&
+           histograms == o.histograms;
+  }
+};
+
+/// The process-wide registry. `Get*` registers on first use and returns
+/// the existing metric afterwards (help text from the first registration
+/// wins); references stay valid for the life of the process. `labels` is a
+/// preformatted Prometheus label body, e.g. `level="3"` — empty for none.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "",
+                      const std::string& labels = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "",
+                  const std::string& labels = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          const std::string& labels = "");
+
+  MetricsSnapshot Snapshot() const;
+  /// Snapshot rendered as JSON / Prometheus text exposition format.
+  std::string SnapshotJson() const { return ToJson(Snapshot()); }
+  std::string SnapshotPrometheus() const {
+    return ToPrometheusText(Snapshot());
+  }
+
+  /// Zeroes every registered metric's value (registrations survive).
+  /// Tests and benches only — not atomic against concurrent writers.
+  void ResetValues();
+
+  // Serializers and their inverses. The parsers accept exactly what the
+  // serializers emit (plus whitespace/# comments for the Prometheus form);
+  // they throw std::invalid_argument on malformed input.
+  static std::string ToJson(const MetricsSnapshot& snap);
+  static std::string ToPrometheusText(const MetricsSnapshot& snap);
+  static MetricsSnapshot FromJson(const std::string& text);
+  static MetricsSnapshot FromPrometheusText(const std::string& text);
+
+ private:
+  MetricRegistry() = default;
+
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::string name;    // bare metric name
+    std::string help;
+    std::string labels;  // preformatted label body, may be empty
+    // Owned, never freed: snapshots and cached references outlive resets.
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  Entry& FindOrCreate(Entry::Kind kind, const std::string& name,
+                      const std::string& help, const std::string& labels);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::map<std::string, size_t> index_;  // full key -> entries_ position
+};
+
+}  // namespace common
+}  // namespace od
+
+#endif  // OD_COMMON_METRICS_H_

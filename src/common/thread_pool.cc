@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace od {
 namespace common {
 
@@ -32,6 +34,7 @@ void ThreadPool::RunChunks(Batch& b) {
     const int64_t begin = b.next.fetch_add(b.grain, std::memory_order_relaxed);
     if (begin >= b.n) return;
     const int64_t end = std::min(b.n, begin + b.grain);
+    OD_TRACE_SPAN("thread_pool.chunk");
     try {
       for (int64_t i = begin; i < end; ++i) (*b.fn)(i);
     } catch (...) {

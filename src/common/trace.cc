@@ -1,0 +1,125 @@
+#include "common/trace.h"
+
+#include <mutex>
+#include <vector>
+
+namespace od {
+namespace common {
+
+namespace {
+
+/// Per-thread span storage. Registered once in the global list below and
+/// intentionally never freed (export may run after the owning thread has
+/// exited).
+struct RingBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  int64_t next = 0;     ///< total spans ever recorded here
+  int64_t dropped = 0;  ///< spans overwritten before an export
+  Tracer::Event events[Tracer::kRingSize];
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<RingBuffer*>& Registry() {
+  static std::vector<RingBuffer*>* rings = new std::vector<RingBuffer*>();
+  return *rings;
+}
+
+RingBuffer& ThreadRing() {
+  thread_local RingBuffer* ring = [] {
+    auto* r = new RingBuffer();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    r->tid = static_cast<uint32_t>(Registry().size());
+    Registry().push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+thread_local uint32_t span_depth = 0;
+
+void AppendJsonString(const char* s, std::string* out) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(const char* name, int64_t start_us, int64_t dur_us,
+                    uint32_t depth) {
+  RingBuffer& ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  Event& e = ring.events[ring.next % kRingSize];
+  if (ring.next >= kRingSize) ++ring.dropped;
+  e.name = name;
+  e.start_us = start_us;
+  e.dur_us = dur_us;
+  e.tid = ring.tid;
+  e.depth = depth;
+  ++ring.next;
+}
+
+uint32_t Tracer::CurrentDepthAndPush() { return span_depth++; }
+
+void Tracer::PopDepth() { --span_depth; }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+  for (RingBuffer* ring : Registry()) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+int64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+  int64_t total = 0;
+  for (RingBuffer* ring : Registry()) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::lock_guard<std::mutex> registry_lock(RegistryMutex());
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (RingBuffer* ring : Registry()) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    const int64_t count =
+        ring->next < kRingSize ? ring->next : int64_t{kRingSize};
+    const int64_t begin = ring->next - count;
+    for (int64_t i = begin; i < ring->next; ++i) {
+      const Event& e = ring->events[i % kRingSize];
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"name\":";
+      AppendJsonString(e.name, &out);
+      out += ",\"cat\":\"od\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(e.start_us) +
+             ",\"dur\":" + std::to_string(e.dur_us) +
+             ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+             ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace common
+}  // namespace od

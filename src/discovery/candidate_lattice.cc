@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace od {
 namespace discovery {
@@ -265,9 +268,12 @@ LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
   level.push_back(root);
 
   for (int l = 1; l <= max_level && !level.empty(); ++l) {
+    OD_TRACE_SPAN("discovery.level");
     level = GenerateNextLevel(level, universe, out.stats);
     out.stats.levels = l;
     out.stats.nodes_visited += static_cast<int64_t>(level.size());
+    int64_t level_checks = 0;
+    int64_t level_found = 0;
 
     // Split pass. Nodes only touch themselves and their outcome, so they
     // validate concurrently; in parallel mode the oracle first prepares the
@@ -280,6 +286,8 @@ LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
     });
     for (SplitOutcome& s : splits) {  // merge in node order
       out.stats.split_checks += s.checks;
+      level_checks += s.checks;
+      level_found += static_cast<int64_t>(s.found.size());
       for (ConstancyOd& c : s.found) {
         discovered.Add(c.context, AttributeSet({c.attr}));
         out.constancies.push_back(std::move(c));
@@ -301,10 +309,30 @@ LatticeResult TraverseLattice(int num_attributes, ValidationOracle& oracle,
     });
     for (SwapOutcome& s : swaps) {  // merge in node order
       out.stats.swap_checks += s.checks;
+      level_checks += s.checks;
+      level_found += static_cast<int64_t>(s.found.size());
       out.stats.trivial_swaps_pruned += s.trivial_pruned;
       for (CompatibilityOd& c : s.found) {
         out.compatibilities.push_back(std::move(c));
       }
+    }
+
+    // Per-level lattice telemetry: one labeled series per level, so a
+    // scrape shows where in the lattice the work (and the yield) sits.
+    {
+      auto& reg = common::MetricRegistry::Global();
+      const std::string label = "level=\"" + std::to_string(l) + "\"";
+      reg.GetCounter("od_discovery_candidates_total",
+                     "Lattice nodes generated per level", label)
+          .Add(static_cast<int64_t>(level.size()));
+      reg.GetCounter("od_discovery_validations_total",
+                     "Split + swap validations executed per level", label)
+          .Add(level_checks);
+      reg.GetCounter("od_discovery_ods_found_total",
+                     "Minimal ODs (constancies + compatibilities) found per "
+                     "level",
+                     label)
+          .Add(level_found);
     }
 
     oracle.OnLevelFinished(l);

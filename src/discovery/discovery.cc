@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "discovery/stripped_partition.h"
 #include "discovery/validators.h"
@@ -44,6 +45,23 @@ class PartitionOracle : public ValidationOracle {
   }
 
   void OnLevelFinished(int level) override {
+    // Flush this level's partition-cache traffic into per-level series
+    // before evicting (hits/computed are cumulative; the deltas since the
+    // previous level are this level's share).
+    auto& reg = common::MetricRegistry::Global();
+    const std::string label = "level=\"" + std::to_string(level) + "\"";
+    reg.GetCounter("od_discovery_partition_cache_hits_total",
+                   "Partition-cache lookups answered without a build, per "
+                   "lattice level",
+                   label)
+        .Add(cache_.hits() - prev_hits_);
+    reg.GetCounter("od_discovery_partitions_computed_total",
+                   "Stripped partitions materialized per lattice level",
+                   label)
+        .Add(cache_.computed() - prev_computed_);
+    prev_hits_ = cache_.hits();
+    prev_computed_ = cache_.computed();
+
     // Level l + 1 still reads partitions of sizes l + 1 (split refinement),
     // l (split contexts) and l − 1 (swap contexts); anything smaller is
     // done (single-column bases are always retained as product seeds).
@@ -55,6 +73,8 @@ class PartitionOracle : public ValidationOracle {
  private:
   const engine::Table* table_;
   PartitionCache cache_;
+  int64_t prev_hits_ = 0;
+  int64_t prev_computed_ = 0;
 };
 
 AttributeList SortedList(const AttributeSet& s) {

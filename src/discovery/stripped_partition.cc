@@ -133,7 +133,10 @@ StrippedPartition StrippedPartition::Product(
 
 const StrippedPartition& PartitionCache::Get(const AttributeSet& x) {
   auto it = cache_.find(x.bits());
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
 
   StrippedPartition part;
   if (x.Size() <= 1) {

@@ -1,6 +1,7 @@
 #ifndef OD_DISCOVERY_STRIPPED_PARTITION_H_
 #define OD_DISCOVERY_STRIPPED_PARTITION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,9 @@ class PartitionCache {
 
   /// Number of partitions materialized so far (cache misses).
   int64_t computed() const { return computed_; }
+  /// Number of Gets answered from the cache. Atomic because read-concurrent
+  /// Gets (post-Prewarm) all land on the hit path.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t size() const { return static_cast<int64_t>(cache_.size()); }
 
  private:
@@ -112,6 +116,7 @@ class PartitionCache {
   const engine::Table* table_;
   std::unordered_map<uint64_t, StrippedPartition> cache_;
   int64_t computed_ = 0;
+  mutable std::atomic<int64_t> hits_{0};
 };
 
 }  // namespace discovery

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "engine/ops.h"
 #include "exec/operator.h"
 #include "exec/spill.h"
@@ -18,6 +20,13 @@ namespace {
 using engine::Schema;
 using engine::SortSpec;
 using engine::Table;
+
+common::Counter& SpilledBytesCounter() {
+  static common::Counter* c = &common::MetricRegistry::Global().GetCounter(
+      "od_exec_spilled_bytes_total",
+      "Bytes of sorted runs written to disk by the external sort");
+  return *c;
+}
 
 std::string SpecStr(const SortSpec& spec) {
   std::string out = "[";
@@ -192,14 +201,17 @@ class ExternalSortOp : public Operator {
 
   void SpillRun(Table* run, bool* any_sorted) {
     if (run->num_rows() == 0) return;
+    OD_TRACE_SPAN("sort.spill_run");
     bool was_sorted = false;
     Table sorted = engine::SortBy(*run, spec_, &was_sorted);
     *any_sorted |= !was_sorted;
     files_.emplace_back(options_.temp_dir);
-    WriteRun(sorted, files_.back(), batch_rows_);
+    const int64_t bytes = WriteRun(sorted, files_.back(), batch_rows_);
+    SpilledBytesCounter().Add(bytes);
     if (stats_ != nullptr) {
       ++stats_->spills;
       stats_->spilled_rows += sorted.num_rows();
+      stats_->spilled_bytes += bytes;
     }
     *run = Table(schema_);
   }

@@ -1,11 +1,14 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/value.h"
 
 namespace od {
@@ -37,6 +40,15 @@ bool IsPrefixOf(const SortSpec& spec, const SortSpec& ordering) {
 /// Runs every fragment to completion on the pool (each into its own table,
 /// each against its own private ExecStats) and merges the stats after the
 /// join. The only multi-threaded region of the exchange layer.
+/// Per-fragment drain wall-clock, for spotting skewed morsels in a scrape.
+common::Histogram& FragmentDrainHistogram() {
+  static common::Histogram* h =
+      &common::MetricRegistry::Global().GetHistogram(
+          "od_exec_fragment_drain_us",
+          "Wall-clock microseconds each exchange fragment took to drain");
+  return *h;
+}
+
 void DrainFragments(std::vector<OpPtr>* frags,
                     std::vector<opt::ExecStats>* frag_stats,
                     common::ThreadPool* pool, opt::ExecStats* stats,
@@ -44,7 +56,13 @@ void DrainFragments(std::vector<OpPtr>* frags,
   const int n = static_cast<int>(frags->size());
   tables->resize(n);
   auto drain_one = [&](int64_t i) {
+    OD_TRACE_SPAN("exchange.fragment");
+    const auto t0 = std::chrono::steady_clock::now();
     (*tables)[i] = Drain((*frags)[i].get(), &(*frag_stats)[i]);
+    FragmentDrainHistogram().Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   };
   if (pool != nullptr && n > 1) {
     pool->ParallelFor(n, drain_one);
@@ -52,6 +70,7 @@ void DrainFragments(std::vector<OpPtr>* frags,
     for (int i = 0; i < n; ++i) drain_one(i);
   }
   if (stats != nullptr) {
+    stats->fragments += n;
     for (const opt::ExecStats& fs : *frag_stats) {
       opt::ExecStats partial = fs;
       // A fragment's rows_output/batches describe the fragment's stream,
@@ -355,6 +374,7 @@ class ParallelHashAggregateOp : public Operator {
     const int n = static_cast<int>(frags_.size());
     std::vector<LocalAgg> locals(n);
     auto build_one = [&](int64_t i) {
+      OD_TRACE_SPAN("exchange.fragment");
       Operator* frag = frags_[i].get();
       frag->StartConsume("exec::ParallelHashAggregate");
       LocalAgg& local = locals[i];
@@ -423,6 +443,7 @@ class ParallelHashAggregateOp : public Operator {
       result_.FinishRow();
     }
     if (stats_ != nullptr) {
+      stats_->fragments += n;
       for (const opt::ExecStats& fs : frag_stats_) {
         opt::ExecStats partial = fs;
         partial.rows_output = 0;

@@ -130,8 +130,8 @@ SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
   return *this;
 }
 
-void WriteRun(const engine::Table& run, const SpillFile& file,
-              int64_t chunk_rows) {
+int64_t WriteRun(const engine::Table& run, const SpillFile& file,
+                 int64_t chunk_rows) {
   std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
   if (!out) {
     throw std::runtime_error("exec::WriteRun: cannot open " + file.path());
@@ -153,6 +153,7 @@ void WriteRun(const engine::Table& run, const SpillFile& file,
     throw std::runtime_error("exec::WriteRun: write failed on " +
                              file.path());
   }
+  return static_cast<int64_t>(out.tellp());
 }
 
 RunReader::RunReader(const SpillFile& file)

@@ -42,8 +42,9 @@ class SpillFile {
 
 /// Writes `run` into `file` in chunks of `chunk_rows`. The run is finished
 /// and self-contained after this returns (the stream is flushed + closed).
-void WriteRun(const engine::Table& run, const SpillFile& file,
-              int64_t chunk_rows);
+/// Returns the bytes written (header + chunks), for spill accounting.
+int64_t WriteRun(const engine::Table& run, const SpillFile& file,
+                 int64_t chunk_rows);
 
 /// Streams a spilled run back chunk by chunk.
 class RunReader {

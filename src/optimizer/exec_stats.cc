@@ -13,8 +13,10 @@ void ExecStats::Merge(const ExecStats& other) {
   joins += other.joins;
   joins_elided += other.joins_elided;
   partitions_scanned += other.partitions_scanned;
+  fragments += other.fragments;
   spills += other.spills;
   spilled_rows += other.spilled_rows;
+  spilled_bytes += other.spilled_bytes;
 }
 
 std::string ExecStats::ToString() const {
@@ -28,8 +30,10 @@ std::string ExecStats::ToString() const {
   out += " joins=" + std::to_string(joins);
   out += " joins_elided=" + std::to_string(joins_elided);
   out += " partitions_scanned=" + std::to_string(partitions_scanned);
+  out += " fragments=" + std::to_string(fragments);
   out += " spills=" + std::to_string(spills);
   out += " spilled_rows=" + std::to_string(spilled_rows);
+  out += " spilled_bytes=" + std::to_string(spilled_bytes);
   return out;
 }
 

@@ -29,9 +29,13 @@ struct ExecStats {
   /// Joins removed entirely, e.g. by the surrogate-key date rewrite.
   int joins_elided = 0;
   int partitions_scanned = 0;
-  /// Sorted runs written to disk by the external sort, and the rows in them.
+  /// Exchange fragments drained by parallel plans (0 for serial plans).
+  int fragments = 0;
+  /// Sorted runs written to disk by the external sort, plus the rows and
+  /// on-disk bytes in them.
   int spills = 0;
   int64_t spilled_rows = 0;
+  int64_t spilled_bytes = 0;
 
   /// Adds `other`'s counters into this one. The exchange operators give
   /// each worker a private ExecStats and merge after the fragments join, so

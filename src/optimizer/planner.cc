@@ -1,9 +1,13 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "exec/parallel.h"
 #include "optimizer/date_rewrite.h"
 
@@ -124,11 +128,13 @@ class Planner {
   }
 
   Cand Plan() {
+    OD_TRACE_SPAN("planner.plan");
     // Enumerate which eligible joins to eliminate (Section 2.3): each
     // eligible join independently kept or replaced by its surrogate range.
     const int n_eligible = static_cast<int>(eligible_.size());
     Cand winner;
     bool have = false;
+    int64_t enumerated = 0;
     for (int mask = 0; mask < (1 << n_eligible); ++mask) {
       std::vector<int> elided, kept;
       for (size_t j = 0; j < joins_.size(); ++j) {
@@ -140,12 +146,17 @@ class Planner {
         (elide ? elided : kept).push_back(static_cast<int>(j));
       }
       for (Cand& c : PlanCombo(elided, kept)) {
+        ++enumerated;
         if (!have || c.node->est_cost < winner.node->est_cost) {
           winner = std::move(c);
           have = true;
         }
       }
     }
+    common::MetricRegistry::Global()
+        .GetCounter("od_planner_plans_enumerated_total",
+                    "Complete physical alternatives costed per PlanQuery")
+        .Add(enumerated);
     if (!have) throw std::invalid_argument("PlanQuery: no plan found");
     return winner;
   }
@@ -860,8 +871,11 @@ bool ParallelizeSlot(std::unique_ptr<PhysicalNode>* slot, int dop,
 // ---------------------------------------------------------------------------
 // Compilation.
 
-/// Counts the rows each node actually emits into its PhysicalNode, so
-/// EXPLAIN can show estimated vs actual per operator.
+/// Counts the rows and inclusive wall-clock each node actually spends into
+/// its PhysicalNode, so EXPLAIN (ANALYZE) can show estimated vs actual per
+/// operator. Timing brackets the child's Next, so a node's actual_ns
+/// includes everything below it — the same cumulative convention as
+/// est_cost, which is what makes the share comparison meaningful.
 class CountingOp : public exec::Operator {
  public:
   CountingOp(exec::OpPtr child, const PhysicalNode* node)
@@ -869,9 +883,16 @@ class CountingOp : public exec::Operator {
     schema_ = child_->schema();
     ordering_ = child_->ordering();
     node_->actual_rows = 0;
+    node_->actual_ns = 0;
   }
   bool Next(exec::Batch* out) override {
-    if (!child_->Next(out)) return false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool more = child_->Next(out);
+    node_->actual_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!more) return false;
     node_->actual_rows += out->num_rows();
     return true;
   }
@@ -1137,7 +1158,23 @@ const char* KindName(Kind k) {
   return "?";
 }
 
-void ExplainNode(const PhysicalNode& n, int indent, std::string* out) {
+/// Extra context ExplainNode renders in ANALYZE mode: the root's cumulative
+/// cost and wall-clock (the denominators of the share comparison) and the
+/// histogram the per-node row-estimate errors feed.
+struct AnalyzeCtx {
+  double root_cost = 0;
+  double root_ns = 0;
+  common::Histogram* rows_err = nullptr;
+};
+
+std::string Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void ExplainNode(const PhysicalNode& n, int indent, std::string* out,
+                 const AnalyzeCtx* ctx = nullptr) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   *out += KindName(n.kind);
   if (n.kind == Kind::kSort || n.kind == Kind::kTopK) {
@@ -1176,9 +1213,32 @@ void ExplainNode(const PhysicalNode& n, int indent, std::string* out) {
   if (n.actual_rows >= 0) {
     *out += " actual_rows=" + std::to_string(n.actual_rows);
   }
+  if (ctx != nullptr) {
+    if (n.actual_ns >= 0) {
+      *out += " actual_ms=" + Fixed(n.actual_ns / 1e6, 3);
+    }
+    if (n.actual_rows >= 0) {
+      const double err = 100.0 * (n.est_rows - n.actual_rows) /
+                         std::max<double>(1.0, n.actual_rows);
+      *out += " rows_err=" + std::string(err >= 0 ? "+" : "") +
+              Fixed(err, 0) + "%";
+      if (ctx->rows_err != nullptr) {
+        ctx->rows_err->Record(static_cast<int64_t>(std::fabs(err)));
+      }
+    }
+    // Cost-model share error: the node's share of total runtime over its
+    // share of total estimated cost. 1.00 = the model apportioned this
+    // node's weight perfectly; >1 = it under-charged the node.
+    if (n.actual_ns > 0 && ctx->root_ns > 0 && n.est_cost > 0 &&
+        ctx->root_cost > 0) {
+      const double share_actual = n.actual_ns / ctx->root_ns;
+      const double share_est = n.est_cost / ctx->root_cost;
+      *out += " cost_err=x" + Fixed(share_actual / share_est, 2);
+    }
+  }
   if (!n.note.empty()) *out += "  -- " + n.note;
   *out += "\n";
-  for (const auto& c : n.children) ExplainNode(*c, indent + 1, out);
+  for (const auto& c : n.children) ExplainNode(*c, indent + 1, out, ctx);
 }
 
 PlanPtr ToPlanNode(const PhysicalNode& n, const std::vector<TableRef>& tabs) {
@@ -1265,6 +1325,31 @@ std::string PhysicalPlan::Explain() const {
   return out;
 }
 
+std::string PhysicalPlan::ExplainAnalyze() const {
+  AnalyzeCtx ctx;
+  ctx.root_cost = root_->est_cost;
+  ctx.root_ns = root_->actual_ns > 0 ? static_cast<double>(root_->actual_ns)
+                                     : 0.0;
+  ctx.rows_err = &common::MetricRegistry::Global().GetHistogram(
+      "od_planner_rows_est_error_pct",
+      "Absolute estimated-vs-actual row error percent per plan node");
+  std::string out = "EXPLAIN ANALYZE";
+  if (root_->actual_ns >= 0) {
+    out += " (total " + Fixed(root_->actual_ns / 1e6, 3) + " ms)";
+  } else {
+    out += " (plan not executed — estimates only)";
+  }
+  out += "\n";
+  ExplainNode(*root_, 0, &out, &ctx);
+  if (!proofs_.empty()) {
+    out += "enforcers elided by OD reasoning (" +
+           std::to_string(sorts_elided_) + " sorts, " +
+           std::to_string(joins_elided_) + " joins):\n";
+    for (const auto& p : proofs_) out += "  * " + p + "\n";
+  }
+  return out;
+}
+
 PlanPtr PhysicalPlan::ToMaterializingPlan() const {
   return ToPlanNode(*root_, tables_);
 }
@@ -1287,6 +1372,11 @@ PhysicalPlan PlanQuery(const LogicalQuery& q, const CostModel& cost,
   plan.joins_elided_ = winner.joins_elided;
   plan.proofs_ = std::move(winner.proofs);
   return plan;
+}
+
+std::string ExplainAnalyze(const PhysicalPlan& plan, ExecStats* stats) {
+  plan.Execute(stats);  // fills per-node actuals; the table is discarded
+  return plan.ExplainAnalyze();
 }
 
 }  // namespace opt

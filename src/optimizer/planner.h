@@ -165,6 +165,10 @@ struct PhysicalNode {
 
   /// Filled during Execute by per-node counting wrappers; -1 = not run.
   mutable int64_t actual_rows = -1;
+  /// Inclusive wall-clock (this node + everything below it) spent inside
+  /// Next, in nanoseconds; -1 = not run. Fragment interiors stay -1 — the
+  /// exchange node above them is timed instead (see CompileFragment).
+  mutable int64_t actual_ns = -1;
 };
 
 /// The cheapest physical plan for a logical query. Compile() instantiates
@@ -193,6 +197,15 @@ class PhysicalPlan {
   exec::OpPtr Compile(ExecStats* stats) const;
   engine::Table Execute(ExecStats* stats) const;
   std::string Explain() const;
+
+  /// EXPLAIN ANALYZE: the Explain tree annotated per node with actual
+  /// wall-clock, actual rows, the estimated-vs-actual row error, and the
+  /// cost-model share error (the node's share of total runtime divided by
+  /// its share of total estimated cost — 1.0 means the model apportioned
+  /// this node perfectly). Requires a prior Execute on this plan (nodes
+  /// that never ran render their estimates only). The OD proofs behind
+  /// every elided sort/join close the report, exactly as in Explain().
+  std::string ExplainAnalyze() const;
 
   /// Bridges to the materializing PlanNode tree (the pre-exec engine) for
   /// apples-to-apples comparisons; nullptr when the plan uses an operator
@@ -230,6 +243,13 @@ class PhysicalPlan {
 PhysicalPlan PlanQuery(const LogicalQuery& q,
                        const CostModel& cost = CostModel(),
                        const PlanOptions& options = PlanOptions());
+
+/// Executes `plan` (merging runtime counters into `stats` when non-null,
+/// discarding the result table) and returns the annotated
+/// PhysicalPlan::ExplainAnalyze report. The one-call form of
+/// "EXPLAIN ANALYZE <query>".
+std::string ExplainAnalyze(const PhysicalPlan& plan,
+                           ExecStats* stats = nullptr);
 
 }  // namespace opt
 }  // namespace od

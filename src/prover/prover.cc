@@ -4,10 +4,47 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace od {
 namespace prover {
+
+namespace {
+
+/// Registry mirrors of the per-instance atomic counters. The accessors
+/// (searches_executed() etc.) keep reading the instance atomics — these
+/// aggregate across every Prover in the process for scraping. Looked up
+/// once; references stay valid for the process lifetime.
+struct ProverMetrics {
+  common::Counter& searches;
+  common::Counter& hits;
+  common::Counter& invalidated;
+  common::Counter& retained;
+  common::Histogram& search_depth;
+};
+
+ProverMetrics& Metrics() {
+  auto& reg = common::MetricRegistry::Global();
+  static ProverMetrics* m = new ProverMetrics{
+      reg.GetCounter("od_prover_searches_total",
+                     "Two-row model searches executed (memo misses)"),
+      reg.GetCounter("od_prover_memo_hits_total",
+                     "Prover queries answered from the memo"),
+      reg.GetCounter("od_prover_memo_invalidated_total",
+                     "Memo entries evicted by catalog changes"),
+      reg.GetCounter("od_prover_memo_retained_total",
+                     "Memo entries kept across catalog changes via "
+                     "certificates"),
+      reg.GetHistogram("od_prover_search_depth",
+                       "Attributes branched over per model search "
+                       "(the 3^n exponent)"),
+  };
+  return *m;
+}
+
+}  // namespace
 
 Prover::Prover(std::shared_ptr<theory::Theory> theory)
     : theory_(std::move(theory)),
@@ -99,6 +136,7 @@ void Prover::OnTheoryChange(const theory::ChangeEvent& event) const {
   // monotonicity rules. Runs inside Add/Remove, which the contract forbids
   // racing with queries, but the locks are taken anyway so a well-behaved
   // reader never observes a torn shard.
+  OD_TRACE_SPAN("prover.memo_sweep");
   const bool added = event.kind == theory::ChangeEvent::Kind::kAdd;
   int64_t invalidated = 0;
   int64_t retained = 0;
@@ -139,6 +177,8 @@ void Prover::OnTheoryChange(const theory::ChangeEvent& event) const {
   }
   entries_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
   entries_retained_.fetch_add(retained, std::memory_order_relaxed);
+  Metrics().invalidated.Add(invalidated);
+  Metrics().retained.Add(retained);
 }
 
 namespace {
@@ -179,12 +219,15 @@ bool Prover::Implies(const OrderDependency& dep) const {
   CacheShard& shard = ShardFor(dep);
   if (auto cached = CacheLookup(shard, dep)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().hits.Add();
     return *cached;
   }
   // Search outside the lock: a racing duplicate re-derives the same answer.
   // One counter tick per cache-miss resolution, even when the relevance
   // phase below falls through to the full search.
   searches_executed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().searches.Add();
+  OD_TRACE_SPAN("prover.search");
   const DependencySet& m = theory_->deps();
 
   // Phase 1 — relevance-guided: search only the directed closure of the
@@ -195,7 +238,11 @@ bool Prover::Implies(const OrderDependency& dep) const {
   const std::vector<int> relevant = RelevantConstraints(m, dep);
   if (static_cast<int>(relevant.size()) < m.Size()) {
     DependencySet restricted;
-    for (int index : relevant) restricted.Add(m[index]);
+    AttributeSet restricted_universe = dep.Attributes();
+    for (int index : relevant) {
+      restricted.Add(m[index]);
+      restricted_universe = restricted_universe.Union(m[index].Attributes());
+    }
     std::vector<int> restricted_support;
     auto subset_model = FindFalsifyingModel(restricted, dep,
                                             AttributeSet::Empty(),
@@ -206,6 +253,7 @@ bool Prover::Implies(const OrderDependency& dep) const {
       for (int index : restricted_support) {
         support.push_back(relevant[index]);
       }
+      Metrics().search_depth.Record(restricted_universe.Size());
       CacheStore(shard, dep, true, support, std::nullopt);
       return true;
     }
@@ -226,6 +274,7 @@ bool Prover::Implies(const OrderDependency& dep) const {
       satisfies_rest = ExtendedSatisfies(*subset_model, m[i]);
     }
     if (satisfies_rest) {
+      Metrics().search_depth.Record(restricted_universe.Size());
       CacheStore(shard, dep, false, {}, std::move(subset_model));
       return false;
     }
@@ -233,6 +282,8 @@ bool Prover::Implies(const OrderDependency& dep) const {
   }
 
   // Phase 2 — exact: the full constraint set over the full universe.
+  Metrics().search_depth.Record(
+      theory_->attributes().Union(dep.Attributes()).Size());
   std::vector<int> support;
   auto model = FindFalsifyingModel(m, dep, theory_->attributes(), &support);
   const bool implied = !model.has_value();
@@ -286,6 +337,7 @@ bool Prover::IsConstant(AttributeId a) const {
   CacheShard& shard = ShardFor(dep);
   if (auto cached = CacheLookup(shard, dep)) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().hits.Add();
     return *cached;
   }
   // [] ↦ [a] is FD-shaped, so ℱ ⊨ ∅ → a already decides the positive case
@@ -321,14 +373,20 @@ std::optional<Relation> Prover::Counterexample(
     // where it still satisfies every live constraint) without a search.
     if (cached->implied) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits.Add();
       return std::nullopt;
     }
     if (cached->model.has_value()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits.Add();
       return MaterializeCounterexample(*cached->model);
     }
   }
   searches_executed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().searches.Add();
+  OD_TRACE_SPAN("prover.search");
+  Metrics().search_depth.Record(
+      theory_->attributes().Union(dep.Attributes()).Size());
   std::vector<int> support;
   auto model = FindFalsifyingModel(theory_->deps(), dep, theory_->attributes(),
                                    &support);

@@ -3,8 +3,28 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace od {
 namespace theory {
+
+namespace {
+
+common::Counter& EpochBumps() {
+  static common::Counter* c = &common::MetricRegistry::Global().GetCounter(
+      "od_theory_epoch_bumps_total",
+      "Catalog versions minted by Theory::Add/Remove");
+  return *c;
+}
+
+common::Counter& ListenerNotifications() {
+  static common::Counter* c = &common::MetricRegistry::Global().GetCounter(
+      "od_theory_listener_notifications_total",
+      "Change-event deliveries fanned out to subscribed listeners");
+  return *c;
+}
+
+}  // namespace
 
 Theory::Theory(const DependencySet& m) {
   ids_.reserve(m.ods().size());
@@ -35,6 +55,7 @@ ConstraintId Theory::Add(OrderDependency dep) {
   TrackAttributes(dep, +1);
   deps_.Add(dep);  // after the uses above; `dep` is still valid here
   ++epoch_;
+  EpochBumps().Add();
   Notify(ChangeEvent{ChangeEvent::Kind::kAdd, id, std::move(dep), epoch_});
   return id;
 }
@@ -48,6 +69,7 @@ bool Theory::Remove(ConstraintId id) {
   ids_.erase(ids_.begin() + *index);
   TrackAttributes(removed, -1);
   ++epoch_;
+  EpochBumps().Add();
   Notify(
       ChangeEvent{ChangeEvent::Kind::kRemove, id, std::move(removed), epoch_});
   return true;
@@ -90,6 +112,7 @@ void Theory::Unsubscribe(ListenerToken token) {
 }
 
 void Theory::Notify(const ChangeEvent& event) const {
+  ListenerNotifications().Add(static_cast<int64_t>(listeners_.size()));
   for (const auto& [token, fn] : listeners_) fn(event);
 }
 

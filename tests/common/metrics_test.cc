@@ -1,0 +1,220 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace od {
+namespace common {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h;
+  // v <= 1 (incl. 0 and negatives) -> bucket 0; otherwise the smallest i
+  // with v <= 2^i.
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);   // bucket 1
+  h.Record(3);   // bucket 2 (3 <= 4)
+  h.Record(4);   // bucket 2
+  h.Record(5);   // bucket 3
+  h.Record(1024);  // bucket 10
+  EXPECT_EQ(h.BucketCount(0), 2);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 2);
+  EXPECT_EQ(h.BucketCount(3), 1);
+  EXPECT_EQ(h.BucketCount(10), 1);
+  EXPECT_EQ(h.Count(), 7);
+  EXPECT_EQ(h.Sum(), 0 + 1 + 2 + 3 + 4 + 5 + 1024);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 8.0);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST(HistogramTest, HugeValuesLandInOverflow) {
+  Histogram h;
+  h.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.BucketCount(Histogram::kBuckets - 1), 1);
+  EXPECT_EQ(h.Count(), 1);
+}
+
+TEST(RegistryTest, GetReturnsSameInstanceAndLabelsDistinguish) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& a = reg.GetCounter("od_test_registry_counter");
+  Counter& b = reg.GetCounter("od_test_registry_counter");
+  EXPECT_EQ(&a, &b);
+  Counter& l1 = reg.GetCounter("od_test_registry_counter", "", "k=\"1\"");
+  Counter& l2 = reg.GetCounter("od_test_registry_counter", "", "k=\"2\"");
+  EXPECT_NE(&l1, &l2);
+  EXPECT_NE(&a, &l1);
+}
+
+TEST(RegistryTest, KindClashThrows) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("od_test_kind_clash");
+  EXPECT_THROW(reg.GetGauge("od_test_kind_clash"), std::invalid_argument);
+}
+
+/// A snapshot with every metric kind populated, registered under unique
+/// names so other tests (and the instrumented library) can't collide.
+MetricsSnapshot BuildSampleSnapshot() {
+  MetricRegistry& reg = MetricRegistry::Global();
+  // Several tests call this; reset first so values are per-call exact.
+  Counter& c = reg.GetCounter("od_test_rt_counter", "a counter");
+  c.Reset();
+  c.Add(7);
+  Counter& cl =
+      reg.GetCounter("od_test_rt_counter_labeled", "", "level=\"3\",kind=\"x\"");
+  cl.Reset();
+  cl.Add(11);
+  reg.GetGauge("od_test_rt_gauge", "a gauge").Set(-5);
+  Histogram& h = reg.GetHistogram("od_test_rt_hist", "a histogram");
+  h.Reset();
+  h.Record(1);
+  h.Record(3);
+  h.Record(100);
+  MetricsSnapshot snap = reg.Snapshot();
+  // Work on the subset this test owns: snapshots of the global registry
+  // include whatever the instrumented library registered.
+  MetricsSnapshot mine;
+  for (const auto& [k, v] : snap.counters) {
+    if (k.find("od_test_rt_") == 0) mine.counters[k] = v;
+  }
+  for (const auto& [k, v] : snap.gauges) {
+    if (k.find("od_test_rt_") == 0) mine.gauges[k] = v;
+  }
+  for (const auto& [k, v] : snap.histograms) {
+    if (k.find("od_test_rt_") == 0) mine.histograms[k] = v;
+  }
+  return mine;
+}
+
+TEST(SnapshotTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const MetricsSnapshot snap = BuildSampleSnapshot();
+  const auto& h = snap.histograms.at("od_test_rt_hist");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_EQ(h.sum, 104);
+  ASSERT_FALSE(h.buckets.empty());
+  EXPECT_TRUE(std::isinf(h.buckets.back().first));
+  EXPECT_EQ(h.buckets.back().second, 3);  // cumulative total
+  // Cumulative counts never decrease.
+  for (size_t i = 1; i < h.buckets.size(); ++i) {
+    EXPECT_GE(h.buckets[i].second, h.buckets[i - 1].second);
+  }
+}
+
+TEST(SnapshotTest, JsonRoundTrips) {
+  const MetricsSnapshot snap = BuildSampleSnapshot();
+  const std::string json = MetricRegistry::ToJson(snap);
+  const MetricsSnapshot back = MetricRegistry::FromJson(json);
+  EXPECT_TRUE(snap == back) << json;
+}
+
+TEST(SnapshotTest, PrometheusRoundTrips) {
+  const MetricsSnapshot snap = BuildSampleSnapshot();
+  const std::string text = MetricRegistry::ToPrometheusText(snap);
+  const MetricsSnapshot back = MetricRegistry::FromPrometheusText(text);
+  EXPECT_TRUE(snap == back) << text;
+}
+
+TEST(SnapshotTest, PrometheusTextHasExpositionShape) {
+  const MetricsSnapshot snap = BuildSampleSnapshot();
+  const std::string text = MetricRegistry::ToPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE od_test_rt_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("od_test_rt_counter 7"), std::string::npos);
+  EXPECT_NE(text.find(
+                "od_test_rt_counter_labeled{level=\"3\",kind=\"x\"} 11"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE od_test_rt_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("od_test_rt_gauge -5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE od_test_rt_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("od_test_rt_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("od_test_rt_hist_sum 104"), std::string::npos);
+  EXPECT_NE(text.find("od_test_rt_hist_count 3"), std::string::npos);
+}
+
+TEST(SnapshotTest, ParsersRejectMalformedInput) {
+  EXPECT_THROW(MetricRegistry::FromJson("not json"),
+               std::invalid_argument);
+  EXPECT_THROW(MetricRegistry::FromJson("{\"counters\": {"),
+               std::invalid_argument);
+  EXPECT_THROW(MetricRegistry::FromPrometheusText("orphan_sample 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(MetricRegistry::FromPrometheusText("# TYPE h histogram\n"
+                                                  "h_bucket 3\n"),
+               std::invalid_argument);
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTripsBothWays) {
+  const MetricsSnapshot empty;
+  EXPECT_TRUE(MetricRegistry::FromJson(MetricRegistry::ToJson(empty)) ==
+              empty);
+  EXPECT_TRUE(MetricRegistry::FromPrometheusText(
+                  MetricRegistry::ToPrometheusText(empty)) == empty);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndWrites) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  ThreadPool pool(8);
+  pool.ParallelFor(64, [&](int64_t i) {
+    // Half the threads register-and-tick the same counter, half distinct
+    // labeled ones; snapshots run concurrently with the writes.
+    Counter& c = reg.GetCounter(
+        "od_test_concurrent", "",
+        i % 2 == 0 ? "" : "slot=\"" + std::to_string(i % 4) + "\"");
+    c.Add();
+    (void)reg.Snapshot();
+  });
+  const MetricsSnapshot snap = reg.Snapshot();
+  int64_t total = 0;
+  for (const auto& [k, v] : snap.counters) {
+    if (k.find("od_test_concurrent") == 0) total += v;
+  }
+  EXPECT_EQ(total, 64);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace od

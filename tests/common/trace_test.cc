@@ -1,0 +1,216 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace od {
+namespace common {
+namespace {
+
+#if OD_TRACE_ENABLED
+
+struct Ev {
+  std::string name;
+  int64_t ts = 0;
+  int64_t dur = 0;
+  uint32_t tid = 0;
+  int depth = 0;
+};
+
+int64_t FieldAfter(const std::string& json, size_t from,
+                   const std::string& key) {
+  const size_t pos = json.find(key, from);
+  EXPECT_NE(pos, std::string::npos) << "missing " << key;
+  if (pos == std::string::npos) return 0;
+  return std::strtoll(json.c_str() + pos + key.size(), nullptr, 10);
+}
+
+/// Pulls every complete event out of the export. The format is ours
+/// (trace.cc), so field-order scanning is a faithful parse.
+std::vector<Ev> ParseEvents(const std::string& json) {
+  std::vector<Ev> events;
+  const std::string marker = "{\"name\":\"";
+  size_t pos = json.find(marker);
+  while (pos != std::string::npos) {
+    Ev e;
+    const size_t name_begin = pos + marker.size();
+    const size_t name_end = json.find('"', name_begin);
+    e.name = json.substr(name_begin, name_end - name_begin);
+    const size_t obj_end = json.find('}', name_end);  // closes "args"
+    e.ts = FieldAfter(json, name_end, "\"ts\":");
+    e.dur = FieldAfter(json, name_end, "\"dur\":");
+    e.tid = static_cast<uint32_t>(FieldAfter(json, name_end, "\"tid\":"));
+    e.depth = static_cast<int>(FieldAfter(json, name_end, "\"depth\":"));
+    events.push_back(e);
+    pos = json.find(marker, obj_end);
+  }
+  return events;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().Enable();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, ExportIsWellFormedChromeTraceJson) {
+  {
+    OD_TRACE_SPAN("test.outer");
+    OD_TRACE_SPAN("test.inner");
+  }
+  std::string json = Tracer::Global().ExportChromeTrace();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  while (!json.empty() && std::isspace(static_cast<unsigned char>(json.back()))) {
+    json.pop_back();
+  }
+  EXPECT_EQ(json.substr(json.size() - 2), "]}") << json;
+  // Balanced braces — the events are flat objects, so a count suffices.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansNestWithDepthAndContainment) {
+  {
+    OD_TRACE_SPAN("test.outer");
+    {
+      OD_TRACE_SPAN("test.inner");
+    }
+  }
+  const auto events = ParseEvents(Tracer::Global().ExportChromeTrace());
+  const auto find = [&](const std::string& name) -> const Ev* {
+    for (const auto& e : events) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+  const Ev* outer = find("test.outer");
+  const Ev* inner = find("test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_LE(outer->ts, inner->ts);
+  EXPECT_GE(outer->ts + outer->dur, inner->ts + inner->dur);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  Tracer::Global().Disable();
+  {
+    OD_TRACE_SPAN("test.invisible");
+  }
+  const std::string json = Tracer::Global().ExportChromeTrace();
+  EXPECT_EQ(json.find("test.invisible"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverflowCountsDrops) {
+  for (int i = 0; i < Tracer::kRingSize + 10; ++i) {
+    OD_TRACE_SPAN("test.tick");
+  }
+  EXPECT_GE(Tracer::Global().dropped_events(), 10);
+  // The export still renders a full (truncated) window.
+  const auto events = ParseEvents(Tracer::Global().ExportChromeTrace());
+  EXPECT_EQ(static_cast<int>(events.size()), Tracer::kRingSize);
+}
+
+/// Eight threads trace through ThreadPool::ParallelFor concurrently. A
+/// barrier inside the body holds all eight items open at once, which is
+/// only possible if eight distinct threads (7 workers + the caller) each
+/// claimed one — so the export must show eight tid lanes. Also the TSan
+/// target for the record path (this whole binary runs under TSan in CI).
+TEST_F(TraceTest, EightLanesThroughThreadPool) {
+  constexpr int kLanes = 8;
+  ThreadPool pool(kLanes);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  pool.ParallelFor(kLanes, [&](int64_t) {
+    OD_TRACE_SPAN("test.work");
+    std::unique_lock<std::mutex> lock(mu);
+    if (++arrived == kLanes) {
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return arrived == kLanes; });
+    }
+  });
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeTrace();
+  const auto events = ParseEvents(json);
+
+  std::set<uint32_t> work_tids;
+  for (const auto& e : events) {
+    if (e.name == "test.work") work_tids.insert(e.tid);
+  }
+  EXPECT_EQ(static_cast<int>(work_tids.size()), kLanes) << json;
+
+  // Per lane, spans strictly nest or are disjoint — never partially
+  // overlapping. That is what makes the Chrome viewer stack them.
+  std::map<uint32_t, std::vector<Ev>> by_tid;
+  for (const auto& e : events) by_tid[e.tid].push_back(e);
+  for (auto& [tid, lane] : by_tid) {
+    std::sort(lane.begin(), lane.end(), [](const Ev& a, const Ev& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.depth < b.depth;
+    });
+    for (size_t i = 0; i + 1 < lane.size(); ++i) {
+      const Ev& a = lane[i];
+      const Ev& b = lane[i + 1];
+      const bool disjoint = b.ts >= a.ts + a.dur;
+      const bool nested = b.ts + b.dur <= a.ts + a.dur;
+      EXPECT_TRUE(disjoint || nested)
+          << "lane " << tid << ": [" << a.name << " " << a.ts << "+"
+          << a.dur << "] vs [" << b.name << " " << b.ts << "+" << b.dur
+          << "]";
+    }
+    // thread_pool.chunk wraps each body invocation, so every lane that
+    // ran test.work shows the enclosing chunk span too.
+    if (work_tids.count(tid) > 0) {
+      EXPECT_TRUE(std::any_of(lane.begin(), lane.end(), [](const Ev& e) {
+        return e.name == std::string("thread_pool.chunk");
+      })) << "lane " << tid;
+    }
+  }
+}
+
+TEST_F(TraceTest, ClearDiscardsEverything) {
+  {
+    OD_TRACE_SPAN("test.gone");
+  }
+  Tracer::Global().Clear();
+  const std::string json = Tracer::Global().ExportChromeTrace();
+  EXPECT_EQ(json.find("test.gone"), std::string::npos);
+  EXPECT_EQ(Tracer::Global().dropped_events(), 0);
+}
+
+#else  // !OD_TRACE_ENABLED
+
+TEST(TraceTest, CompiledOutSpansAreNoOps) {
+  // With OD_TRACE=OFF the macro must still parse in statement position.
+  OD_TRACE_SPAN("test.never");
+  SUCCEED();
+}
+
+#endif  // OD_TRACE_ENABLED
+
+}  // namespace
+}  // namespace common
+}  // namespace od
