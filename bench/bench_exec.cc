@@ -232,6 +232,60 @@ void BM_ExecParallelOrderedMerge2M(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000000);
 }
 
+// The streaming exchange end to end: daily sales over a 10M-row fact,
+// planned as per-fragment stream-aggregate partials behind the OD-proven
+// ordered exchange (+ combine). Fragments push batches through the bounded
+// queues while the consumer merges — nothing materializes, so the dop
+// sweep measures the streaming path itself.
+void BM_ExecParallelStreamingExchange10M(benchmark::State& state) {
+  StarWorkload& w = GetStar(10000000);
+  opt::LogicalQuery q = warehouse::DailySalesQuery(
+      &w.fact, &w.dim, &w.fact_index, /*fact_parts=*/nullptr, w.dim_ods,
+      /*year=*/1999);
+  const int dop = static_cast<int>(state.range(0));
+  opt::PlanOptions opts;
+  opts.dop = dop;
+  opts.pool = &BenchPool();
+  opt::CostModel cm;
+  cm.fragment_startup = 0;  // always fan out: the sweep is the experiment
+  opt::PhysicalPlan plan = opt::PlanQuery(q, cm, opts);
+  if (dop > 1 && plan.Explain().find("Exchange") == std::string::npos) {
+    state.SkipWithError("planner declined the streaming exchange");
+    return;
+  }
+  for (auto _ : state) {
+    opt::ExecStats stats;
+    engine::Table out = plan.Execute(&stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000000);
+}
+
+// Nested parallel regions: the same query at max_exchange_depth=2 — each
+// outer fragment's morsel is subdivided behind an inner exchange of its
+// own. Documents the overhead (or win) of nesting against the flat
+// streaming exchange above; arg = dop at both levels.
+void BM_ExecParallelNestedExchange10M(benchmark::State& state) {
+  StarWorkload& w = GetStar(10000000);
+  opt::LogicalQuery q = warehouse::DailySalesQuery(
+      &w.fact, &w.dim, &w.fact_index, /*fact_parts=*/nullptr, w.dim_ods,
+      /*year=*/1999);
+  const int dop = static_cast<int>(state.range(0));
+  opt::PlanOptions opts;
+  opts.dop = dop;
+  opts.pool = &BenchPool();
+  opts.max_exchange_depth = 2;
+  opt::CostModel cm;
+  cm.fragment_startup = 0;
+  opt::PhysicalPlan plan = opt::PlanQuery(q, cm, opts);
+  for (auto _ : state) {
+    opt::ExecStats stats;
+    engine::Table out = plan.Execute(&stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000000);
+}
+
 BENCHMARK(BM_TaxOrderByMaterializing)
     ->Arg(1200000)
     ->Unit(benchmark::kMillisecond);
@@ -256,6 +310,18 @@ BENCHMARK(BM_ExecParallelOrderedMerge2M)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ExecParallelStreamingExchange10M)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ExecParallelNestedExchange10M)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -193,7 +194,10 @@ class MetricRegistry {
                       const std::string& help, const std::string& labels);
 
   mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  // A deque so entries never relocate: FindOrCreate hands out Entry
+  // references that are read after mu_ is released (and concurrently with
+  // later registrations), which a reallocating vector would invalidate.
+  std::deque<Entry> entries_;
   std::map<std::string, size_t> index_;  // full key -> entries_ position
 };
 

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,33 +15,45 @@
 namespace od {
 namespace common {
 
-/// A fixed-size pool of worker threads whose primitive is a chunked,
-/// self-balancing parallel-for. Shared by the prover's batch implication API
-/// (`Prover::ProveAll`) and the discovery lattice's level validation — both
-/// workloads are flat fans of independent, unevenly sized items, which is
-/// exactly what dynamic chunk claiming handles: every participant repeatedly
-/// grabs the next unclaimed chunk of indices from an atomic cursor, so a
-/// thread that drew cheap items circles back for more instead of idling
-/// behind one that drew an expensive model search or a large partition.
+class TaskGroup;
+
+/// A fixed-size work-stealing task scheduler. The primitive is a task —
+/// submitted through a `TaskGroup` — plus `ParallelFor`, implemented on top,
+/// which keeps the chunked self-balancing loop the prover's batch implication
+/// API (`Prover::ProveAll`) and the discovery lattice rely on.
 ///
-/// Semantics:
-///   * `ParallelFor(n, fn)` invokes `fn(i)` exactly once for every
-///     i ∈ [0, n) and returns when all invocations have finished. The
-///     calling thread participates, so a pool of size T uses T threads
-///     total (T − 1 workers + the caller) and `ThreadPool(1)` degenerates
+/// Scheduling: every worker owns a deque (pushed and popped LIFO at the back
+/// for locality); external threads submit into a shared injection queue; a
+/// worker with an empty deque takes from the injection queue or steals the
+/// oldest task (FIFO front) from another worker. Each deque has its own
+/// mutex — tasks here are chunky (a fragment drain, a run sort, a chunk of
+/// prover queries), so queue overhead is noise and the locking stays
+/// trivially race-free under TSan.
+///
+/// Nesting: tasks may submit tasks and wait on them. `TaskGroup::Wait` (and
+/// the blocking points built on `RunOneTask`, e.g. the streaming exchange's
+/// queue pops) *help*: while waiting they run queued tasks instead of
+/// blocking the thread, so a plan whose fragments contain their own parallel
+/// regions cannot deadlock even with every worker inside an outer task.
+///
+/// `ParallelFor(n, fn)` semantics (unchanged from the pre-task-queue pool):
+///   * invokes `fn(i)` exactly once for every i ∈ [0, n) and returns when
+///     all invocations have finished. The calling thread participates, so a
+///     pool of size T uses T threads total and `ThreadPool(1)` degenerates
 ///     to a plain serial loop with no synchronization.
 ///   * `fn` runs concurrently with itself; it must only touch shared state
 ///     through its own index (or its own synchronization).
-///   * If an invocation throws, the first exception is rethrown on the
-///     calling thread after the loop drains; remaining unclaimed chunks are
-///     abandoned (claimed ones still finish).
-///   * `ParallelFor` is serialized internally: concurrent calls from
-///     different threads are safe but run one batch at a time. Nested calls
-///     from inside `fn` deadlock — don't.
+///   * If an invocation throws, the first recorded exception is rethrown on
+///     the calling thread after the loop drains; remaining unclaimed chunks
+///     are abandoned (claimed ones still finish).
+///   * Concurrent and nested calls are both fine: each invocation is an
+///     independent task group, and nested callers help run their own chunks.
 class ThreadPool {
  public:
   /// `num_threads` ≤ 0 selects HardwareConcurrency().
   explicit ThreadPool(int num_threads);
+  /// All TaskGroups submitted to the pool must be waited (or destroyed)
+  /// before the pool itself is destroyed.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -52,35 +66,95 @@ class ThreadPool {
 
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Runs one queued task if any is runnable: own deque (LIFO), then the
+  /// injection queue, then a FIFO steal sweep over the other workers.
+  /// Returns false when every queue is empty. Safe from any thread — this
+  /// is the helping hook blocking code uses to keep the pool live while it
+  /// waits (TaskGroup::Wait, the streaming exchange's bounded queues).
+  bool RunOneTask();
+
  private:
-  /// State of one ParallelFor invocation, stack-owned by the caller.
-  struct Batch {
-    int64_t n = 0;
-    int64_t grain = 1;
-    const std::function<void(int64_t)>* fn = nullptr;
-    uint64_t id = 0;                 // distinguishes batches for the workers
-    std::atomic<int64_t> next{0};    // chunk-claim cursor
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;        // first exception, guarded by mu_
-    int active = 0;                  // workers inside the batch, guarded by mu_
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;  // completion + error sink; never null
   };
 
-  void WorkerLoop();
-  /// Claims and runs chunks of `b` until the cursor passes n (or an error
-  /// aborts the batch). Returns with no locks held.
-  void RunChunks(Batch& b);
+  /// Index 0 is the injection queue (external submitters); worker i owns
+  /// queues_[i + 1]. Owners push/pop at the back, everyone else at the
+  /// front.
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void Submit(Task t);
+  void WorkerLoop(int slot);
+  bool TryTake(int queue_idx, bool from_back, Task* out);
+  void Execute(Task t);
+  /// queues_ index this thread owns: its deque for a worker of this pool,
+  /// the injection queue (0) for any other thread.
+  int SelfSlot() const;
 
   const int num_threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex run_mu_;  // serializes ParallelFor callers
+  /// One cv for every kind of sleeper (idle workers, group waiters): each
+  /// re-checks its own predicate, and all predicates include "a task is
+  /// runnable", so any wakeup makes progress.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<int64_t> queued_{0};  // runnable (not yet taken) tasks
+  bool stop_ = false;               // guarded by idle_mu_
+};
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new batch is published
-  std::condition_variable done_cv_;  // caller: all workers left the batch
-  Batch* batch_ = nullptr;           // published batch, null when idle
-  uint64_t next_batch_id_ = 0;
-  bool stop_ = false;
+/// A set of tasks whose completion (and first exception) the submitter
+/// observes as a unit. Submit from any thread — including from inside
+/// another task; Wait runs queued tasks while it waits, which is what makes
+/// nested submission deadlock-free.
+///
+/// With a null or single-threaded pool, Submit degenerates to running the
+/// task inline (errors still surface at Wait), so callers need no serial
+/// fallback of their own.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  /// Waits for outstanding tasks but swallows their errors — call Wait()
+  /// first if you care (you do).
+  ~TaskGroup() { WaitNoThrow(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`. The group must outlive all submitted tasks — guaranteed
+  /// by Wait / the destructor for stack-owned groups.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, helping run queued
+  /// tasks (from any group) meanwhile. Rethrows the first recorded
+  /// exception, then clears it; tasks that threw after the first are
+  /// dropped.
+  void Wait();
+
+  /// Makes not-yet-started tasks no-ops (they still count as completed).
+  /// Tasks already running are not interrupted. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ThreadPool;
+
+  void OnTaskDone();
+  void RecordError(std::exception_ptr e);
+  void WaitNoThrow();
+
+  ThreadPool* const pool_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<bool> cancelled_{false};
+  std::mutex err_mu_;
+  std::exception_ptr error_;  // first failure, guarded by err_mu_
 };
 
 }  // namespace common

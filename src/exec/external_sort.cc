@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "engine/ops.h"
 #include "exec/operator.h"
@@ -140,6 +142,15 @@ class ExternalSortOp : public Operator {
   }
 
  private:
+  /// What one spilled run's preparation task reports back; accounted into
+  /// ExecStats on the consumer thread, in run order, after the tasks join.
+  /// (spills/spilled_rows are counted at run-cut time instead, so a
+  /// mid-drain exception still reports the runs it cut.)
+  struct RunResult {
+    int64_t bytes = 0;
+    bool sorted = false;  // true iff the run actually needed its sort
+  };
+
   void BuildRuns() {
     child_->StartConsume("exec::ExternalSort");
     claimed_ = true;
@@ -150,26 +161,37 @@ class ExternalSortOp : public Operator {
                                : std::max<int64_t>(1,
                                                    options_.memory_budget_rows);
     Table run(schema_);
-    Batch batch;
     bool any_sorted = false;
-    while (child_->Next(&batch)) {
-      int64_t taken = 0;
-      while (taken < batch.num_rows()) {
-        int64_t take = batch.num_rows() - taken;
-        if (budget >= 0) {
-          take = std::min(take, budget - run.num_rows());
+    std::deque<RunResult> results;
+    {
+      // Each full run's sort + disk write runs as a task (inline when the
+      // pool is null or single-threaded), so the consumer keeps draining
+      // the child while earlier runs spill. Scoped: the group's destructor
+      // joins stragglers even if the child throws mid-drain.
+      common::TaskGroup group(options_.pool);
+      Batch batch;
+      while (child_->Next(&batch)) {
+        int64_t taken = 0;
+        while (taken < batch.num_rows()) {
+          int64_t take = batch.num_rows() - taken;
+          if (budget >= 0) {
+            take = std::min(take, budget - run.num_rows());
+          }
+          for (int c = 0; c < run.num_columns(); ++c) {
+            run.col(c).AppendRange(batch.col(c), taken, taken + take);
+          }
+          run.SetRowCount(run.num_rows() + take);
+          taken += take;
+          if (budget >= 0 && run.num_rows() >= budget &&
+              taken < batch.num_rows()) {
+            SpillRun(&run, &group, &results);
+          }
         }
-        for (int c = 0; c < run.num_columns(); ++c) {
-          run.col(c).AppendRange(batch.col(c), taken, taken + take);
-        }
-        run.SetRowCount(run.num_rows() + take);
-        taken += take;
-        if (budget >= 0 && run.num_rows() >= budget &&
-            taken < batch.num_rows()) {
-          SpillRun(&run, &any_sorted);
+        if (budget >= 0 && run.num_rows() >= budget) {
+          SpillRun(&run, &group, &results);
         }
       }
-      if (budget >= 0 && run.num_rows() >= budget) SpillRun(&run, &any_sorted);
+      group.Wait();
     }
     // The final run stays in memory — sorted like the spilled ones. Run
     // elision: a run arriving physically sorted (e.g. morsels of an
@@ -177,6 +199,13 @@ class ExternalSortOp : public Operator {
     bool was_sorted = false;
     final_run_ = engine::SortBy(run, spec_, &was_sorted);
     any_sorted |= !was_sorted;
+    // Deterministic accounting: the tasks only filled their private
+    // RunResult slots; counters move in run order on this thread.
+    for (const RunResult& r : results) {
+      any_sorted |= r.sorted;
+      SpilledBytesCounter().Add(r.bytes);
+      if (stats_ != nullptr) stats_->spilled_bytes += r.bytes;
+    }
     if (stats_ != nullptr) {
       if (any_sorted) {
         ++stats_->sorts;
@@ -184,6 +213,7 @@ class ExternalSortOp : public Operator {
         ++stats_->sorts_elided;
       }
     }
+    PreMergeRuns();
     if (!files_.empty()) {
       cursors_.resize(files_.size() + 1);
       for (size_t i = 0; i < files_.size(); ++i) {
@@ -199,21 +229,103 @@ class ExternalSortOp : public Operator {
     ready_ = true;
   }
 
-  void SpillRun(Table* run, bool* any_sorted) {
+  void SpillRun(Table* run, common::TaskGroup* group,
+                std::deque<RunResult>* results) {
     if (run->num_rows() == 0) return;
-    OD_TRACE_SPAN("sort.spill_run");
-    bool was_sorted = false;
-    Table sorted = engine::SortBy(*run, spec_, &was_sorted);
-    *any_sorted |= !was_sorted;
+    // The file and result slot are created here, on the consumer thread, so
+    // run order (and with it the merge's run-index tiebreak) stays exactly
+    // the serial cut order no matter how the tasks interleave. Deques keep
+    // both pointers stable while later runs append behind them.
     files_.emplace_back(options_.temp_dir);
-    const int64_t bytes = WriteRun(sorted, files_.back(), batch_rows_);
-    SpilledBytesCounter().Add(bytes);
+    const SpillFile* file = &files_.back();
+    results->emplace_back();
+    RunResult* res = &results->back();
     if (stats_ != nullptr) {
       ++stats_->spills;
-      stats_->spilled_rows += sorted.num_rows();
-      stats_->spilled_bytes += bytes;
+      stats_->spilled_rows += run->num_rows();
     }
+    auto data = std::make_shared<Table>(std::move(*run));
+    group->Submit([this, data, file, res] {
+      OD_TRACE_SPAN("sort.spill_run");
+      bool was_sorted = false;
+      Table sorted = engine::SortBy(*data, spec_, &was_sorted);
+      res->sorted = !was_sorted;
+      res->bytes = WriteRun(sorted, *file, batch_rows_);
+    });
     *run = Table(schema_);
+  }
+
+  /// When a multi-threaded pool is available and the spill produced more
+  /// runs than the merge fan-in, merge contiguous groups of runs into
+  /// intermediate runs in parallel (each streamed to disk through a
+  /// RunWriter — one chunk per input run resident, never a whole run).
+  /// Row-identical to the flat merge: within a group ties break on the
+  /// local (= global, runs being contiguous) run index, and the final
+  /// merge's group-index tiebreak preserves that across groups.
+  /// Intermediate bytes are operational traffic, not logical spill volume:
+  /// they feed the registry counter but not ExecStats.
+  void PreMergeRuns() {
+    common::ThreadPool* pool = options_.pool;
+    if (pool == nullptr || pool->num_threads() <= 1) return;
+    const int n = static_cast<int>(files_.size());
+    if (n <= kMergeFanIn) return;
+    OD_TRACE_SPAN("sort.pre_merge");
+    const int per = (n + kMergeFanIn - 1) / kMergeFanIn;
+    const int groups = (n + per - 1) / per;
+    std::deque<SpillFile> merged;
+    std::vector<int64_t> bytes(groups, 0);
+    {
+      common::TaskGroup group(pool);
+      for (int g = 0; g < groups; ++g) {
+        merged.emplace_back(options_.temp_dir);
+        const SpillFile* out = &merged.back();
+        const int begin = g * per;
+        const int end = std::min(n, begin + per);
+        int64_t* b = &bytes[g];
+        group.Submit([this, begin, end, out, b] {
+          OD_TRACE_SPAN("sort.merge_runs");
+          *b = MergeRunGroup(begin, end, *out);
+        });
+      }
+      group.Wait();
+    }
+    for (int64_t b : bytes) SpilledBytesCounter().Add(b);
+    files_ = std::move(merged);
+  }
+
+  /// Streams the k-way merge of files_[begin, end) into `out`; returns the
+  /// bytes written.
+  int64_t MergeRunGroup(int begin, int end, const SpillFile& out) const {
+    std::vector<RunCursor> cs(end - begin);
+    for (int i = begin; i < end; ++i) {
+      cs[i - begin].reader = std::make_unique<RunReader>(files_[i]);
+    }
+    auto cmp = [this, &cs](int a, int b) {
+      const int c = Batch::CompareRows(cs[a].cur, cs[a].row, cs[b].cur,
+                                       cs[b].row, spec_);
+      if (c != 0) return c > 0;  // min-heap via "greater"
+      return a > b;              // lower run index first, as in the flat merge
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+    for (size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i].Refill()) heap.push(static_cast<int>(i));
+    }
+    RunWriter writer(out, schema_);
+    Batch chunk;
+    chunk.Reset(schema_);
+    while (!heap.empty()) {
+      const int i = heap.top();
+      heap.pop();
+      RunCursor& c = cs[i];
+      chunk.AppendRows(c.cur, c.row, c.row + 1);
+      if (c.Advance()) heap.push(i);
+      if (chunk.num_rows() >= batch_rows_) {
+        writer.Append(chunk);
+        chunk.Clear();
+      }
+    }
+    writer.Append(chunk);
+    return writer.Finish();
   }
 
   bool NextMerged(Batch* out) {
@@ -243,6 +355,10 @@ class ExternalSortOp : public Operator {
     }
   };
 
+  /// Final-merge fan-in: with more spilled runs than this, PreMergeRuns
+  /// collapses contiguous groups in parallel before the streaming merge.
+  static constexpr int kMergeFanIn = 8;
+
   OpPtr child_;
   SortSpec spec_;
   SortOptions options_;
@@ -251,7 +367,7 @@ class ExternalSortOp : public Operator {
   bool passthrough_ = false;
   bool claimed_ = false;
   bool ready_ = false;
-  std::vector<SpillFile> files_;
+  std::deque<SpillFile> files_;  // deque: stable refs for in-flight writers
   Table final_run_;
   int64_t pos_ = 0;
   std::vector<RunCursor> cursors_;

@@ -17,6 +17,12 @@
 #include "optimizer/exec_stats.h"
 
 namespace od {
+namespace common {
+class ThreadPool;
+}  // namespace common
+}  // namespace od
+
+namespace od {
 namespace exec {
 
 /// A pull-based streaming operator producing column-chunk batches.
@@ -181,6 +187,15 @@ struct SortOptions {
   /// are removed when the operator is destroyed — on success, on a
   /// mid-pipeline exception, and on early exit alike.
   std::string temp_dir;
+  /// Scheduler for run preparation and the merge phase. When set (and
+  /// multi-threaded), each full run's sort + disk write becomes a task —
+  /// the consumer thread keeps draining the child while earlier runs spill
+  /// in the background — and a spill with more runs than the merge fan-in
+  /// pre-merges contiguous run groups in parallel. Results are
+  /// row-identical to the serial spill: runs are cut in input order, heap
+  /// ties break on run index, and contiguous grouping preserves that
+  /// tiebreak through the pre-merge. Null: everything on the caller.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// External ORDER BY enforcer: accumulates input into memory-bounded runs,

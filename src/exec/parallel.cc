@@ -1,7 +1,11 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
@@ -37,9 +41,6 @@ bool IsPrefixOf(const SortSpec& spec, const SortSpec& ordering) {
   return std::equal(spec.begin(), spec.end(), ordering.begin());
 }
 
-/// Runs every fragment to completion on the pool (each into its own table,
-/// each against its own private ExecStats) and merges the stats after the
-/// join. The only multi-threaded region of the exchange layer.
 /// Per-fragment drain wall-clock, for spotting skewed morsels in a scrape.
 common::Histogram& FragmentDrainHistogram() {
   static common::Histogram* h =
@@ -49,84 +50,172 @@ common::Histogram& FragmentDrainHistogram() {
   return *h;
 }
 
-void DrainFragments(std::vector<OpPtr>* frags,
-                    std::vector<opt::ExecStats>* frag_stats,
-                    common::ThreadPool* pool, opt::ExecStats* stats,
-                    std::vector<Table>* tables) {
-  const int n = static_cast<int>(frags->size());
-  tables->resize(n);
-  auto drain_one = [&](int64_t i) {
-    OD_TRACE_SPAN("exchange.fragment");
-    const auto t0 = std::chrono::steady_clock::now();
-    (*tables)[i] = Drain((*frags)[i].get(), &(*frag_stats)[i]);
-    FragmentDrainHistogram().Record(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count());
-  };
-  if (pool != nullptr && n > 1) {
-    pool->ParallelFor(n, drain_one);
-  } else {
-    for (int i = 0; i < n; ++i) drain_one(i);
+/// The bounded batch queue between one exchange producer pump and the
+/// consumer (one queue per fragment, single-producer single-consumer).
+/// Capacity bounds the exchange's resident footprint.
+///
+/// The producer NEVER blocks: a pump that finds the queue full *parks* —
+/// it returns its thread to the scheduler, and the next Pop that frees
+/// space fires `on_space` (which resubmits the pump). This is what makes
+/// the exchange safe at any fragment/worker ratio: a blocking producer
+/// would pin its worker while unscheduled siblings starve the consumer
+/// (classic work-stealing wedge); a parked one costs nothing.
+class BatchQueue {
+ public:
+  enum class Reserve { kReady, kParked, kCancelled };
+
+  /// `resident`/`peak` are the owning exchange's cross-queue row
+  /// accounting (ExecStats::exchange_peak_rows); `on_space` reschedules
+  /// the parked producer (invoked on the consumer thread, outside the
+  /// queue lock).
+  BatchQueue(int capacity, int producers, common::ThreadPool* pool,
+             std::atomic<int64_t>* resident, std::atomic<int64_t>* peak,
+             std::function<void()> on_space)
+      : capacity_(capacity),
+        open_producers_(producers),
+        pool_(pool),
+        resident_(resident),
+        peak_(peak),
+        on_space_(std::move(on_space)) {}
+
+  /// The producer's admission check, made atomically with parking so a
+  /// concurrent Pop can't miss the parked flag: kReady guarantees the next
+  /// Push fits (only the consumer shrinks the queue, so the headroom can't
+  /// vanish), kParked means the pump must return (Pop will resubmit it),
+  /// kCancelled means stop draining the fragment.
+  Reserve ReserveOrPark() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_) return Reserve::kCancelled;
+    if (static_cast<int>(q_.size()) >= capacity_) {
+      parked_ = true;
+      return Reserve::kParked;
+    }
+    return Reserve::kReady;
   }
-  if (stats != nullptr) {
-    stats->fragments += n;
-    for (const opt::ExecStats& fs : *frag_stats) {
-      opt::ExecStats partial = fs;
-      // A fragment's rows_output/batches describe the fragment's stream,
-      // not the pipeline root's; the exchange re-counts its own output.
-      partial.rows_output = 0;
-      partial.batches = 0;
-      stats->Merge(partial);
+
+  /// Never blocks (capacity was reserved); false once cancelled — the
+  /// producer's signal to stop draining its fragment.
+  bool Push(Batch&& b) {
+    const int64_t rows = b.num_rows();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_) return false;
+      q_.push_back(std::move(b));
+    }
+    const int64_t now =
+        resident_->fetch_add(rows, std::memory_order_relaxed) + rows;
+    int64_t prev = peak_->load(std::memory_order_relaxed);
+    while (now > prev && !peak_->compare_exchange_weak(
+                             prev, now, std::memory_order_relaxed)) {
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and producers remain; false once the queue is
+  /// drained-and-closed or cancelled. Freeing space resumes a parked
+  /// producer. While waiting, *helps*: runs queued scheduler tasks — the
+  /// producers this pop is waiting on may themselves be tasks nobody has
+  /// picked up (every worker can sit inside an outer fragment's consumer
+  /// when exchanges nest), so blocking without helping could deadlock.
+  /// Helping is safe precisely because pumps park instead of blocking:
+  /// a stolen task always returns.
+  bool Pop(Batch* out) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!q_.empty()) {
+          *out = std::move(q_.front());
+          q_.pop_front();
+          const bool resume = parked_;
+          parked_ = false;
+          lock.unlock();
+          resident_->fetch_sub(out->num_rows(), std::memory_order_relaxed);
+          if (resume) on_space_();
+          return true;
+        }
+        if (cancelled_ || open_producers_ == 0) return false;
+      }
+      if (pool_ != nullptr && pool_->RunOneTask()) continue;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!q_.empty() || cancelled_ || open_producers_ == 0) continue;
+      // Nothing runnable and nothing queued: the producers are
+      // mid-execution on other threads. The bounded wait re-polls the
+      // scheduler in case a task is submitted while we sleep (the queue cv
+      // cannot observe pool submissions).
+      not_empty_.wait_for(lock, std::chrono::milliseconds(1));
     }
   }
-  frags->clear();
-}
+
+  /// Each producer calls exactly once when done (including on error);
+  /// after the last close a drained queue pops false instead of blocking.
+  void CloseProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--open_producers_ == 0) not_empty_.notify_all();
+  }
+
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_empty_.notify_all();
+  }
+
+ private:
+  const int capacity_;
+  int open_producers_;  // guarded by mu_
+  common::ThreadPool* const pool_;
+  std::atomic<int64_t>* const resident_;
+  std::atomic<int64_t>* const peak_;
+  const std::function<void()> on_space_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<Batch> q_;
+  bool cancelled_ = false;  // guarded by mu_
+  bool parked_ = false;     // guarded by mu_: producer awaits on_space_
+};
 
 class ExchangeOp : public Operator {
  public:
-  ExchangeOp(int num_fragments, const FragmentFactory& factory,
-             MergeMode mode, SortSpec merge_spec, common::ThreadPool* pool,
+  ExchangeOp(int num_fragments, FragmentFactory factory, MergeMode mode,
+             SortSpec merge_spec, common::ThreadPool* pool,
              opt::ExecStats* stats, int64_t batch_rows)
       : mode_(mode),
         merge_spec_(std::move(merge_spec)),
         pool_(pool),
         stats_(stats),
-        batch_rows_(batch_rows) {
-    if (num_fragments < 1) {
+        batch_rows_(batch_rows),
+        num_fragments_(num_fragments),
+        factory_(std::move(factory)) {
+    if (num_fragments_ < 1) {
       throw std::invalid_argument("exec::Exchange: need >= 1 fragment");
     }
-    frag_stats_.resize(num_fragments);
-    frags_.reserve(num_fragments);
-    for (int i = 0; i < num_fragments; ++i) {
-      frags_.push_back(factory(i, &frag_stats_[i]));
-      if (frags_[i] == nullptr) {
-        throw std::invalid_argument("exec::Exchange: null fragment");
-      }
-      if (i > 0 && frags_[i]->schema().num_columns() !=
-                       frags_[0]->schema().num_columns()) {
-        throw std::logic_error(
-            "exec::Exchange: fragments disagree on schema");
-      }
-      if (mode_ == MergeMode::kOrderedMerge &&
-          !IsPrefixOf(merge_spec_, frags_[i]->ordering())) {
-        // The proof obligation of the order-preserving merge: a fragment
-        // that cannot *claim* the merge order (planner-proven via
-        // OrderReasoner) must not be merged order-preservingly.
-        throw std::logic_error(
-            "exec::Exchange: ordered merge on " + SpecStr(merge_spec_) +
-            " but fragment " + std::to_string(i) + " only claims " +
-            SpecStr(frags_[i]->ordering()) +
-            " — no OD proof, use kUnion + Sort");
-      }
-    }
-    schema_ = frags_[0]->schema();
+    frag_stats_.resize(num_fragments_);
+    // Fragment 0 is built eagerly: the Operator contract wants schema(),
+    // ordering(), and Describe() at construction. The rest are built
+    // lazily, inside their producer tasks, where ValidateFragment re-runs
+    // the same checks (surfaced through the task group at drain time).
+    frag0_ = factory_(0, &frag_stats_[0]);
+    ValidateFragment(0, frag0_.get());
+    schema_ = frag0_->schema();
     if (mode_ == MergeMode::kOrderedMerge) {
       ordering_ = merge_spec_;
-    } else if (num_fragments == 1) {
-      ordering_ = frags_[0]->ordering();
+    } else if (num_fragments_ == 1) {
+      ordering_ = frag0_->ordering();
     }
-    describe_child_ = frags_[0]->Describe(0);
+    describe_child_ = frag0_->Describe(0);
+  }
+
+  ~ExchangeOp() override {
+    if (group_ != nullptr) {
+      // Early exit (e.g. a Limit upstream stopped pulling): skip unstarted
+      // producers, unblock running ones mid-Push, and join. Each producer
+      // destroys its fragment inside its task, so spill temp files and
+      // other RAII state unwind there.
+      group_->Cancel();
+      for (auto& q : queues_) q->Cancel();
+      group_.reset();  // joins producers; their errors are already recorded
+    }
+    if (started_) MergeStats();  // partial counts are still true counts
   }
 
   bool Next(Batch* out) override {
@@ -135,52 +224,17 @@ class ExchangeOp : public Operator {
     } else {
       out->Reset(schema_);
     }
-    if (!ready_) {
-      DrainFragments(&frags_, &frag_stats_, pool_, stats_, &tables_);
-      if (mode_ == MergeMode::kOrderedMerge) {
-        // Cursors before heap: HeapCmp reads pos_ during push.
-        pos_.assign(tables_.size(), 0);
-        for (size_t i = 0; i < tables_.size(); ++i) {
-          if (tables_[i].num_rows() > 0) heap_.push(static_cast<int>(i));
-        }
-      }
-      ready_ = true;
-    }
-    if (mode_ == MergeMode::kUnion) {
-      while (cur_table_ < static_cast<int>(tables_.size())) {
-        const Table& t = tables_[cur_table_];
-        if (cur_pos_ < t.num_rows()) {
-          const int64_t end = std::min(t.num_rows(), cur_pos_ + batch_rows_);
-          for (int c = 0; c < t.num_columns(); ++c) {
-            out->col(c).AppendRange(t.col(c), cur_pos_, end);
-          }
-          out->SetRowCount(end - cur_pos_);
-          cur_pos_ = end;
-          return true;
-        }
-        ++cur_table_;
-        cur_pos_ = 0;
-      }
-      return false;
-    }
-    // Ordered k-way merge; ties break on fragment index, which for
-    // row-range morsels reproduces the serial plan's row order exactly.
-    while (out->num_rows() < batch_rows_ && !heap_.empty()) {
-      const int i = heap_.top();
-      heap_.pop();
-      const Table& t = tables_[i];
-      for (int c = 0; c < t.num_columns(); ++c) {
-        out->col(c).AppendFrom(t.col(c), pos_[i]);
-      }
-      out->FinishRow();
-      if (++pos_[i] < t.num_rows()) heap_.push(i);
-    }
-    return out->num_rows() > 0;
+    if (finished_) return false;
+    if (!started_) Start();
+    const bool more =
+        mode_ == MergeMode::kUnion ? NextUnion(out) : NextMerge(out);
+    if (!more) Finish();  // rethrows the first producer error, if any
+    return more;
   }
 
   std::string Describe(int indent) const override {
     std::string out = Pad(indent) + "Exchange fragments=" +
-                      std::to_string(frag_stats_.size());
+                      std::to_string(num_fragments_) + " streaming";
     if (mode_ == MergeMode::kOrderedMerge) {
       out += " ordered-merge " + SpecStr(merge_spec_) + " (OD-proven)";
     } else {
@@ -200,34 +254,240 @@ class ExchangeOp : public Operator {
   }
 
  private:
+  struct Cursor {
+    Batch batch;
+    int64_t pos = 0;
+  };
+
+  /// Per-fragment pump state, persisted across parks. `op == nullptr`
+  /// before the first pump invocation and again after the fragment closes.
+  struct Producer {
+    OpPtr op;
+    std::chrono::steady_clock::time_point start;
+  };
+
   struct HeapCmp {
     const ExchangeOp* op;
     bool operator()(int a, int b) const {
-      const Table& ta = op->tables_[a];
-      const Table& tb = op->tables_[b];
-      for (ColumnId c : op->merge_spec_) {
-        const int cmp =
-            ta.col(c).Compare(op->pos_[a], tb.col(c), op->pos_[b]);
-        if (cmp != 0) return cmp > 0;  // min-heap
-      }
+      const Cursor& ca = op->cursors_[a];
+      const Cursor& cb = op->cursors_[b];
+      const int cmp = Batch::CompareRows(ca.batch, ca.pos, cb.batch, cb.pos,
+                                         op->merge_spec_);
+      if (cmp != 0) return cmp > 0;  // min-heap
       return a > b;  // fragment-index tiebreak: stability
     }
   };
+
+  void ValidateFragment(int i, const Operator* frag) const {
+    if (frag == nullptr) {
+      throw std::invalid_argument("exec::Exchange: null fragment");
+    }
+    if (i > 0 && frag->schema().num_columns() != schema_.num_columns()) {
+      throw std::logic_error("exec::Exchange: fragments disagree on schema");
+    }
+    if (mode_ == MergeMode::kOrderedMerge &&
+        !IsPrefixOf(merge_spec_, frag->ordering())) {
+      // The proof obligation of the order-preserving merge: a fragment
+      // that cannot *claim* the merge order (planner-proven via
+      // OrderReasoner) must not be merged order-preservingly.
+      throw std::logic_error(
+          "exec::Exchange: ordered merge on " + SpecStr(merge_spec_) +
+          " but fragment " + std::to_string(i) + " only claims " +
+          SpecStr(frag->ordering()) + " — no OD proof, use kUnion + Sort");
+    }
+  }
+
+  OpPtr TakeFragment(int i) {
+    OpPtr frag = i == 0 ? std::move(frag0_) : factory_(i, &frag_stats_[i]);
+    ValidateFragment(i, frag.get());
+    return frag;
+  }
+
+  void Start() {
+    started_ = true;
+    parallel_ = pool_ != nullptr && pool_->num_threads() > 1;
+    const int n = num_fragments_;
+    if (parallel_) {
+      producers_.resize(n);
+      for (int i = 0; i < n; ++i) {
+        queues_.push_back(std::make_unique<BatchQueue>(
+            kExchangeQueueBatches, 1, pool_, &resident_rows_, &peak_rows_,
+            [this, i] { group_->Submit([this, i] { RunProducer(i); }); }));
+      }
+      group_ = std::make_unique<common::TaskGroup>(pool_);
+      for (int i = 0; i < n; ++i) {
+        group_->Submit([this, i] { RunProducer(i); });
+      }
+    } else if (mode_ == MergeMode::kOrderedMerge) {
+      // Serial streaming merge: all fragment heads are needed at once, but
+      // only one batch per fragment is ever resident.
+      serial_frags_.resize(n);
+      for (int i = 0; i < n; ++i) {
+        serial_frags_[i] = TakeFragment(i);
+        serial_frags_[i]->StartConsume("exec::Exchange");
+      }
+    }
+    // Serial union builds fragments one at a time inside NextUnion.
+    if (mode_ == MergeMode::kOrderedMerge) {
+      cursors_.resize(n);
+      for (int i = 0; i < n; ++i) {
+        if (Refill(i)) heap_.push(i);
+      }
+    }
+  }
+
+  /// One fragment's producer pump: builds the fragment on first entry,
+  /// then produces batch-by-batch until the queue is full (park: return
+  /// the thread to the scheduler; Pop resubmits this pump when space
+  /// frees), the fragment is exhausted, or the exchange is cancelled. The
+  /// fragment operator is destroyed inside the task on the happy and error
+  /// paths alike, so its RAII state (spill temp files etc.) unwinds where
+  /// it was built.
+  void RunProducer(int i) {
+    BatchQueue& q = *queues_[i];
+    Producer& p = producers_[i];
+    try {
+      OD_TRACE_SPAN("exchange.fragment");
+      if (p.op == nullptr) {
+        p.start = std::chrono::steady_clock::now();
+        p.op = TakeFragment(i);
+        p.op->StartConsume("exec::Exchange");
+      }
+      for (;;) {
+        const auto r = q.ReserveOrPark();
+        if (r == BatchQueue::Reserve::kParked) return;
+        if (r == BatchQueue::Reserve::kCancelled) break;
+        Batch b;
+        if (!p.op->Next(&b)) break;
+        if (!q.Push(std::move(b))) break;  // cancelled mid-produce
+      }
+      p.op.reset();
+      FragmentDrainHistogram().Record(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - p.start)
+              .count());
+    } catch (...) {
+      // Wake the consumer and cancel sibling pumps, then let the task
+      // group record the exception; Finish rethrows it on the consumer.
+      p.op.reset();
+      for (auto& queue : queues_) queue->Cancel();
+      q.CloseProducer();
+      throw;
+    }
+    q.CloseProducer();
+  }
+
+  /// Pulls the next batch of fragment `i` into its cursor (merge mode).
+  bool Refill(int i) {
+    Cursor& cur = cursors_[i];
+    cur.pos = 0;
+    if (parallel_) return queues_[i]->Pop(&cur.batch);
+    return serial_frags_[i]->Next(&cur.batch);
+  }
+
+  bool NextUnion(Batch* out) {
+    if (parallel_) {
+      // Fragments are emitted in fragment order — for row-range morsels
+      // the concatenation IS the serial stream, so even an order-oblivious
+      // consumer (a Sort above, a hash build) sees deterministic input.
+      // Production still interleaves freely: later producers fill their
+      // bounded queues and park, which is what bounds memory.
+      while (union_cur_ < num_fragments_) {
+        Batch b;
+        if (queues_[union_cur_]->Pop(&b)) {
+          *out = std::move(b);
+          return true;
+        }
+        ++union_cur_;
+      }
+      return false;
+    }
+    for (;;) {
+      if (serial_union_cur_ == nullptr) {
+        if (serial_union_next_ >= num_fragments_) return false;
+        serial_union_cur_ = TakeFragment(serial_union_next_++);
+        serial_union_cur_->StartConsume("exec::Exchange");
+      }
+      if (serial_union_cur_->Next(out)) return true;
+      serial_union_cur_.reset();
+    }
+  }
+
+  bool NextMerge(Batch* out) {
+    // Ordered k-way merge over the fragment heads; ties break on fragment
+    // index, which for row-range morsels reproduces the serial plan's row
+    // order exactly.
+    while (out->num_rows() < batch_rows_ && !heap_.empty()) {
+      const int i = heap_.top();
+      heap_.pop();
+      Cursor& cur = cursors_[i];
+      for (int c = 0; c < out->num_columns(); ++c) {
+        out->col(c).AppendFrom(cur.batch.col(c), cur.pos);
+      }
+      out->FinishRow();
+      if (++cur.pos < cur.batch.num_rows()) {
+        heap_.push(i);
+      } else if (Refill(i)) {
+        heap_.push(i);
+      }
+    }
+    return out->num_rows() > 0;
+  }
+
+  void Finish() {
+    finished_ = true;
+    if (group_ != nullptr) {
+      auto group = std::move(group_);
+      group->Wait();  // rethrows the first producer exception
+    }
+    MergeStats();
+  }
+
+  void MergeStats() {
+    if (merged_ || stats_ == nullptr) return;
+    merged_ = true;
+    stats_->fragments += num_fragments_;
+    for (const opt::ExecStats& fs : frag_stats_) {
+      opt::ExecStats partial = fs;
+      // A fragment's rows_output/batches describe the fragment's stream,
+      // not the pipeline root's; the root sink re-counts its own output.
+      partial.rows_output = 0;
+      partial.batches = 0;
+      stats_->Merge(partial);
+    }
+    const int64_t peak = peak_rows_.load(std::memory_order_relaxed);
+    if (peak > stats_->exchange_peak_rows) stats_->exchange_peak_rows = peak;
+  }
 
   MergeMode mode_;
   SortSpec merge_spec_;
   common::ThreadPool* pool_;
   opt::ExecStats* stats_;
   int64_t batch_rows_;
-  std::vector<OpPtr> frags_;
+  int num_fragments_;
+  FragmentFactory factory_;
   std::vector<opt::ExecStats> frag_stats_;
-  std::vector<Table> tables_;
+  OpPtr frag0_;
   std::string describe_child_;
-  bool ready_ = false;
-  int cur_table_ = 0;   // union cursor
-  int64_t cur_pos_ = 0;
-  std::vector<int64_t> pos_;  // merge cursors
+
+  bool started_ = false;
+  bool parallel_ = false;
+  bool finished_ = false;
+  bool merged_ = false;
+
+  std::atomic<int64_t> resident_rows_{0};
+  std::atomic<int64_t> peak_rows_{0};
+  std::vector<std::unique_ptr<BatchQueue>> queues_;
+  std::vector<Producer> producers_;  // pump state, parked fragments included
+  std::vector<OpPtr> serial_frags_;  // serial merge path
+  OpPtr serial_union_cur_;           // serial union path
+  int serial_union_next_ = 0;
+  int union_cur_ = 0;  // parallel union: queue being drained
+  std::vector<Cursor> cursors_;  // merge heads (queue or serial pulls)
   std::priority_queue<int, std::vector<int>, HeapCmp> heap_{HeapCmp{this}};
+  // Declared last: producer tasks reference the members above, and the
+  // destructor resets this (joining them) before anything else dies.
+  std::unique_ptr<common::TaskGroup> group_;
 };
 
 // ---------------------------------------------------------------------------
@@ -304,7 +564,7 @@ Schema AggOutputSchema(const Schema& in, const std::vector<ColumnId>& groups,
 
 class ParallelHashAggregateOp : public Operator {
  public:
-  ParallelHashAggregateOp(int num_fragments, const FragmentFactory& factory,
+  ParallelHashAggregateOp(int num_fragments, FragmentFactory factory,
                           std::vector<ColumnId> group_cols,
                           std::vector<AggSpec> aggs,
                           common::ThreadPool* pool, opt::ExecStats* stats,
@@ -313,21 +573,21 @@ class ParallelHashAggregateOp : public Operator {
         aggs_(std::move(aggs)),
         pool_(pool),
         stats_(stats),
-        batch_rows_(batch_rows) {
-    if (num_fragments < 1) {
+        batch_rows_(batch_rows),
+        num_fragments_(num_fragments),
+        factory_(std::move(factory)) {
+    if (num_fragments_ < 1) {
       throw std::invalid_argument(
           "exec::ParallelHashAggregate: need >= 1 fragment");
     }
-    frag_stats_.resize(num_fragments);
-    frags_.reserve(num_fragments);
-    for (int i = 0; i < num_fragments; ++i) {
-      frags_.push_back(factory(i, &frag_stats_[i]));
-      if (frags_[i] == nullptr) {
-        throw std::invalid_argument(
-            "exec::ParallelHashAggregate: null fragment");
-      }
+    frag_stats_.resize(num_fragments_);
+    // Fragment 0 eagerly for the schema; the rest inside their tasks.
+    frag0_ = factory_(0, &frag_stats_[0]);
+    if (frag0_ == nullptr) {
+      throw std::invalid_argument(
+          "exec::ParallelHashAggregate: null fragment");
     }
-    const Schema& in = frags_[0]->schema();
+    const Schema& in = frag0_->schema();
     for (ColumnId c : group_cols_) {
       if (c < 0 || c >= in.num_columns()) {
         throw std::out_of_range(
@@ -343,6 +603,7 @@ class ParallelHashAggregateOp : public Operator {
     }
     schema_ = AggOutputSchema(in, group_cols_, aggs_);
     // ordering_ stays empty: hash aggregation has no output order.
+    describe_child_ = frag0_->Describe(0);
   }
 
   bool Next(Batch* out) override {
@@ -363,19 +624,36 @@ class ParallelHashAggregateOp : public Operator {
   }
 
   std::string Describe(int indent) const override {
-    return Pad(indent) + "ParallelHashAggregate fragments=" +
-           std::to_string(frag_stats_.size()) + " groups=" +
-           SpecStr(group_cols_) + " (thread-local build + merge)\n" +
-           (frags_.empty() ? "" : frags_[0]->Describe(indent + 1));
+    std::string out = Pad(indent) + "ParallelHashAggregate fragments=" +
+                      std::to_string(num_fragments_) + " groups=" +
+                      SpecStr(group_cols_) +
+                      " (thread-local build + merge)\n";
+    std::string child = describe_child_;
+    size_t start = 0;
+    while (start < child.size()) {
+      size_t nl = child.find('\n', start);
+      if (nl == std::string::npos) nl = child.size();
+      out += Pad(indent + 1) + child.substr(start, nl - start) + "\n";
+      start = nl + 1;
+    }
+    return out;
   }
 
  private:
   void BuildAndMerge() {
-    const int n = static_cast<int>(frags_.size());
+    const int n = num_fragments_;
     std::vector<LocalAgg> locals(n);
-    auto build_one = [&](int64_t i) {
+    // Fragments are built *inside* their tasks (fragment 0 was pre-built
+    // for the schema) and drained into per-fragment LocalAggs; with a null
+    // or single-threaded pool TaskGroup::Submit degenerates to running
+    // them inline.
+    auto build_one = [&](int i) {
       OD_TRACE_SPAN("exchange.fragment");
-      Operator* frag = frags_[i].get();
+      OpPtr frag = i == 0 ? std::move(frag0_) : factory_(i, &frag_stats_[i]);
+      if (frag == nullptr) {
+        throw std::invalid_argument(
+            "exec::ParallelHashAggregate: null fragment");
+      }
       frag->StartConsume("exec::ParallelHashAggregate");
       LocalAgg& local = locals[i];
       Batch batch;
@@ -404,10 +682,12 @@ class ParallelHashAggregateOp : public Operator {
         }
       }
     };
-    if (pool_ != nullptr && n > 1) {
-      pool_->ParallelFor(n, build_one);
-    } else {
-      for (int i = 0; i < n; ++i) build_one(i);
+    {
+      common::TaskGroup group(pool_);
+      for (int i = 0; i < n; ++i) {
+        group.Submit([&build_one, i] { build_one(i); });
+      }
+      group.Wait();  // rethrows the first fragment failure
     }
     // Single-threaded merge, fragment order: deterministic group order.
     LocalAgg merged;
@@ -451,7 +731,6 @@ class ParallelHashAggregateOp : public Operator {
         stats_->Merge(partial);
       }
     }
-    frags_.clear();
     ready_ = true;
   }
 
@@ -460,8 +739,11 @@ class ParallelHashAggregateOp : public Operator {
   common::ThreadPool* pool_;
   opt::ExecStats* stats_;
   int64_t batch_rows_;
-  std::vector<OpPtr> frags_;
+  int num_fragments_;
+  FragmentFactory factory_;
   std::vector<opt::ExecStats> frag_stats_;
+  OpPtr frag0_;
+  std::string describe_child_;
   Table result_;
   bool ready_ = false;
   int64_t pos_ = 0;
@@ -712,9 +994,9 @@ class HashProbeOp : public Operator {
 OpPtr Exchange(int num_fragments, FragmentFactory factory, MergeMode mode,
                engine::SortSpec merge_spec, common::ThreadPool* pool,
                opt::ExecStats* stats, int64_t batch_rows) {
-  return std::make_unique<ExchangeOp>(num_fragments, factory, mode,
-                                      std::move(merge_spec), pool, stats,
-                                      batch_rows);
+  return std::make_unique<ExchangeOp>(num_fragments, std::move(factory),
+                                      mode, std::move(merge_spec), pool,
+                                      stats, batch_rows);
 }
 
 OpPtr ParallelHashAggregate(int num_fragments, FragmentFactory factory,
@@ -723,8 +1005,8 @@ OpPtr ParallelHashAggregate(int num_fragments, FragmentFactory factory,
                             common::ThreadPool* pool, opt::ExecStats* stats,
                             int64_t batch_rows) {
   return std::make_unique<ParallelHashAggregateOp>(
-      num_fragments, factory, std::move(group_cols), std::move(aggs), pool,
-      stats, batch_rows);
+      num_fragments, std::move(factory), std::move(group_cols),
+      std::move(aggs), pool, stats, batch_rows);
 }
 
 OpPtr CombinePartialAggregates(OpPtr child, int num_group_cols,

@@ -22,8 +22,22 @@ namespace exec {
 /// *private* per-fragment ExecStats owned by the exchange: workers never
 /// share a counter, the exchange merges them single-threaded after the
 /// fragments join (what keeps the whole layer clean under TSan).
+///
+/// The exchange copies the factory and invokes it *from producer tasks*
+/// (fragment 0 is built eagerly for the schema; the rest lazily, inside
+/// their tasks): calls for distinct fragments run concurrently, so the
+/// factory must be safe to invoke in parallel (building independent trees
+/// over shared read-only inputs is), and anything it captures must stay
+/// valid until the exchange is drained or destroyed.
 using FragmentFactory =
     std::function<OpPtr(int fragment, opt::ExecStats* stats)>;
+
+/// Per-fragment capacity (in batches) of a streaming exchange's bounded
+/// queues — with per-batch rows capped at the plan's batch_rows, the
+/// exchange's resident footprint is O(fragments × kExchangeQueueBatches ×
+/// batch_rows) regardless of input size. Exposed so tests can assert the
+/// bound against ExecStats::exchange_peak_rows.
+inline constexpr int kExchangeQueueBatches = 4;
 
 /// How an exchange recombines its fragments' streams.
 enum class MergeMode {
@@ -40,12 +54,27 @@ enum class MergeMode {
   kOrderedMerge,
 };
 
-/// The exchange operator: constructs `num_fragments` pipeline fragments
-/// (serially, in the constructor), drains them in parallel on `pool` on the
-/// first Next — one materialized table per fragment — then streams the
-/// recombination. `pool` may be null (or single-threaded): fragments then
-/// run serially, same results. Fragments must not themselves contain an
-/// exchange (ThreadPool::ParallelFor does not nest).
+/// The streaming exchange operator: on the first Next it spawns one
+/// producer task per fragment on `pool`; each task builds its fragment,
+/// checks the merge proof, and pushes batches through a bounded
+/// per-fragment queue — no fragment is ever materialized. Union mode
+/// emits queues in fragment order (production interleaves; emission is
+/// deterministic, so for row-range morsels the stream is row-identical
+/// to the serial plan even under a Sort or hash build); ordered-merge
+/// mode runs the OD-proven k-way merge over the per-fragment queue
+/// heads. An early-exiting consumer (Limit) or a
+/// failing fragment cancels the queues, which unblocks and winds down
+/// every producer (temp spill files clean up via their destructors); the
+/// first producer exception is rethrown on the consumer.
+///
+/// `pool` may be null (or single-threaded): fragments then stream
+/// serially — union pulls them one at a time, merge holds one batch per
+/// fragment — with identical results. Producers never block: a pump whose
+/// queue is full parks (returns its thread to the scheduler) and resumes
+/// when the consumer frees space, so any fragment/worker ratio is safe.
+/// Fragments may themselves contain exchanges: producers are stealable
+/// tasks and the consumer helps run queued tasks while it waits, so
+/// nested parallel regions cannot deadlock.
 OpPtr Exchange(int num_fragments, FragmentFactory factory, MergeMode mode,
                engine::SortSpec merge_spec, common::ThreadPool* pool,
                opt::ExecStats* stats = nullptr,

@@ -17,6 +17,9 @@ void ExecStats::Merge(const ExecStats& other) {
   spills += other.spills;
   spilled_rows += other.spilled_rows;
   spilled_bytes += other.spilled_bytes;
+  if (other.exchange_peak_rows > exchange_peak_rows) {
+    exchange_peak_rows = other.exchange_peak_rows;
+  }
 }
 
 std::string ExecStats::ToString() const {
@@ -34,6 +37,7 @@ std::string ExecStats::ToString() const {
   out += " spills=" + std::to_string(spills);
   out += " spilled_rows=" + std::to_string(spilled_rows);
   out += " spilled_bytes=" + std::to_string(spilled_bytes);
+  out += " exchange_peak_rows=" + std::to_string(exchange_peak_rows);
   return out;
 }
 

@@ -36,10 +36,16 @@ struct ExecStats {
   int spills = 0;
   int64_t spilled_rows = 0;
   int64_t spilled_bytes = 0;
+  /// High-watermark of rows resident in any one streaming exchange's
+  /// bounded queues — the streaming-memory bound the exchange lives by
+  /// (a materializing exchange would peak at the full input). Merged by
+  /// max, not sum: it is a watermark, not a volume.
+  int64_t exchange_peak_rows = 0;
 
-  /// Adds `other`'s counters into this one. The exchange operators give
-  /// each worker a private ExecStats and merge after the fragments join, so
-  /// no counter is ever written from two threads.
+  /// Adds `other`'s counters into this one (watermarks merge by max). The
+  /// exchange operators give each worker a private ExecStats and merge
+  /// after the fragments join, so no counter is ever written from two
+  /// threads.
   void Merge(const ExecStats& other);
 
   /// One-line rendering used by benches and EXPLAIN output.

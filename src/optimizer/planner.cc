@@ -720,11 +720,15 @@ class Planner {
 
 // ---------------------------------------------------------------------------
 // Parallelization pass (PlanOptions::dop > 1). Runs after the serial
-// enumeration picked a winner: cut the driving chain into row-range morsels
-// behind one exchange, choosing the recombination by what the chain can
-// *prove* — an order-preserving merge when it carries an ordering property
+// enumeration picked a winner: every chain-safe region of the tree — the
+// driving chain, sort inputs, merge-join right sides, hash-join build
+// sides — may be cut into row-range morsels behind its own cost-gated
+// exchange, choosing each recombination by what that chain can *prove* —
+// an order-preserving merge when it carries an ordering property
 // (parallelism must never reintroduce a sort the OD reasoning elided), a
-// union otherwise.
+// fragment-ordered union otherwise. Producers are scheduler tasks, so
+// multiple (and, past depth 1, nested) exchanges per plan compose without
+// reserving threads per region.
 
 /// A chain a worker can run privately over its morsel: scans at the leaf,
 /// filters/projections, and hash-join *probes* (the build side is shared
@@ -781,36 +785,76 @@ bool AggsDecomposable(const std::vector<engine::AggSpec>& aggs) {
   return true;
 }
 
-/// Walks the driving chain from the root and applies the first profitable
-/// parallel rewrite; returns whether the tree changed (at most one
-/// exchange per plan — ThreadPool::ParallelFor does not nest).
-bool ParallelizeSlot(std::unique_ptr<PhysicalNode>* slot, int dop,
-                     const CostModel& cm,
-                     std::vector<std::string>* proofs) {
+/// Puts the chain in `slot` behind an exchange if the cost gate accepts;
+/// restores it (and retracts the pushed proof) otherwise.
+bool TryExchangeChain(std::unique_ptr<PhysicalNode>* slot, int dop,
+                      const CostModel& cm,
+                      std::vector<std::string>* proofs) {
+  const double serial = (*slot)->est_cost;
+  auto x = MakeExchange(std::move(*slot), dop, cm, proofs);
+  if (x->est_cost >= serial) {
+    // Not worth the exchange overhead: put the chain back.
+    *slot = std::move(x->children[0]);
+    if (x->ordered_merge && !proofs->empty()) proofs->pop_back();
+    return false;
+  }
+  *slot = std::move(x);
+  return true;
+}
+
+bool ParallelizeNode(std::unique_ptr<PhysicalNode>* slot, int dop,
+                     const CostModel& cm, std::vector<std::string>* proofs,
+                     int depth_budget);
+
+/// Walks every node of the tree and applies each profitable parallel
+/// rewrite it finds — several exchanges per plan when several regions pay
+/// for themselves, each individually cost-gated and each recording its own
+/// merge proof. `depth_budget` >= 2 additionally nests an inner exchange
+/// inside the partial-aggregation fragment template (the scheduler runs
+/// producers as stealable tasks, so nested regions cannot starve). Returns
+/// whether the tree changed.
+bool ParallelizeNode(std::unique_ptr<PhysicalNode>* slot, int dop,
+                     const CostModel& cm, std::vector<std::string>* proofs,
+                     int depth_budget) {
   PhysicalNode* n = slot->get();
   if (IsChainSafe(*n)) {
-    const double serial = n->est_cost;
-    auto x = MakeExchange(std::move(*slot), dop, cm, proofs);
-    if (x->est_cost >= serial) {
-      // Not worth the exchange overhead: put the chain back.
-      *slot = std::move(x->children[0]);
-      if (x->ordered_merge && !proofs->empty()) proofs->pop_back();
-      return false;
+    bool changed = TryExchangeChain(slot, dop, cm, proofs);
+    // The chain's hash-join build sides run once, on the consumer, before
+    // any fragment starts — independent parallel regions of their own.
+    // Their exchanges stay deterministic because union emission is
+    // fragment-ordered (the build stream, and with it multimap insertion
+    // order, is row-identical to the serial plan).
+    PhysicalNode* walk = slot->get();
+    if (walk->kind == Kind::kExchange) walk = walk->children[0].get();
+    for (; !walk->children.empty(); walk = walk->children[0].get()) {
+      if (walk->kind == Kind::kHashJoin) {
+        changed |= ParallelizeNode(&walk->children[1], dop, cm, proofs,
+                                   depth_budget);
+      }
     }
-    *slot = std::move(x);
-    return true;
+    return changed;
   }
   switch (n->kind) {
+    case Kind::kExchange:
+    case Kind::kParallelHashAgg:
+    case Kind::kCombinePartials:
+      return false;  // already parallel
     case Kind::kHashAgg: {
       if (!IsChainSafe(*n->children[0])) {
-        return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+        return ParallelizeNode(&n->children[0], dop, cm, proofs,
+                               depth_budget);
       }
       const double chain_cost = n->children[0]->est_cost;
       const double agg_work = n->est_cost - chain_cost;
       const double par = chain_cost / dop + agg_work / dop +
                          dop * cm.fragment_startup +
                          n->est_rows * cm.output_row;
-      if (par >= n->est_cost) return false;
+      if (par >= n->est_cost) {
+        // The parallel aggregate doesn't pay; the chain below might still
+        // (a serial hash build over a union-exchanged chain is valid).
+        return ParallelizeNode(&n->children[0], dop, cm, proofs,
+                               depth_budget);
+      }
       n->kind = Kind::kParallelHashAgg;
       n->dop = dop;
       n->est_cost = par;
@@ -821,11 +865,13 @@ bool ParallelizeSlot(std::unique_ptr<PhysicalNode>* slot, int dop,
     case Kind::kStreamAgg: {
       PhysicalNode* chain = n->children[0].get();
       if (!IsChainSafe(*chain)) {
-        return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+        return ParallelizeNode(&n->children[0], dop, cm, proofs,
+                               depth_budget);
       }
       if (chain->out_ordering.empty()) {
-        // A union exchange would break group contiguity and an ordered
-        // merge has nothing to merge on: stay serial.
+        // An ordered merge has nothing to merge on, and without the order
+        // property a streaming aggregate shouldn't be here at all: stay
+        // serial.
         return false;
       }
       const bool covers = n->out_ordering.size() == n->group_cols.size();
@@ -851,20 +897,43 @@ bool ParallelizeSlot(std::unique_ptr<PhysicalNode>* slot, int dop,
         if (combine->est_cost >= serial) {
           *slot = std::move(x->children[0]);
           if (x->ordered_merge && !proofs->empty()) proofs->pop_back();
-          return false;
+          // The partial-agg rewrite doesn't pay; an exchange below the
+          // serial aggregate might (its ordered merge restores the exact
+          // serial stream, so contiguity holds above it).
+          return ParallelizeNode(&slot->get()->children[0], dop, cm, proofs,
+                                 depth_budget);
         }
         combine->children.push_back(std::move(x));
         *slot = std::move(combine);
+        if (depth_budget >= 2) {
+          // Nest: subdivide each fragment's morsel behind an inner
+          // exchange inside the template — same cost gate, own proof. The
+          // inner merge is ordered (the chain carries the order property
+          // checked above), so each fragment's StreamAggregate still sees
+          // its sub-stream in proven order.
+          PhysicalNode* outer = slot->get()->children[0].get();
+          PhysicalNode* agg = outer->children[0].get();
+          if (TryExchangeChain(&agg->children[0], dop, cm, proofs)) {
+            agg->children[0]->note +=
+                " (nested: subdivides each outer fragment's morsel)";
+          }
+        }
         return true;
       }
       // Non-decomposable (avg) or partial group order: parallelize the
       // chain below instead — the ordered merge restores the exact serial
       // stream, so the contiguity proof still holds above it.
-      return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+      return ParallelizeNode(&n->children[0], dop, cm, proofs, depth_budget);
     }
-    default:
-      if (n->children.empty()) return false;
-      return ParallelizeSlot(&n->children[0], dop, cm, proofs);
+    default: {
+      // Recurse into every child: sort inputs, limit/top-k inputs, and
+      // both sides of joins can each host their own exchange.
+      bool changed = false;
+      for (auto& child : n->children) {
+        changed |= ParallelizeNode(&child, dop, cm, proofs, depth_budget);
+      }
+      return changed;
+    }
   }
 }
 
@@ -912,6 +981,14 @@ exec::OpPtr CompileNode(const PhysicalNode& n,
 /// The driving scan at the bottom of a fragment template.
 const PhysicalNode& ChainLeaf(const PhysicalNode& n) {
   return n.children.empty() ? n : ChainLeaf(*n.children[0]);
+}
+
+/// Hash joins on the template's driving spine — how many shared-table
+/// slots a fragment compiled from it consumes (BuildSharedTables pushes
+/// them in the same pre-order).
+int CountChainJoins(const PhysicalNode& n) {
+  const int self = n.kind == Kind::kHashJoin ? 1 : 0;
+  return n.children.empty() ? self : self + CountChainJoins(*n.children[0]);
 }
 
 /// Splits [0, total) into `dop` contiguous near-equal ranges. Fragments
@@ -1004,6 +1081,36 @@ exec::OpPtr CompileFragment(
           CompileFragment(*n.children[0], tables, stats, opts, morsel,
                           shared, shared_idx),
           n.group_cols, n.aggs);
+    case Kind::kExchange: {
+      // A nested exchange: subdivide this fragment's morsel again and
+      // stream the inner chain behind its own exchange. Producers are
+      // plain scheduler tasks, so the regions compose without reserving
+      // threads. The inner factory runs from inner producer tasks after
+      // this frame is gone: it owns its sub-ranges and shared-table
+      // handles, and points only at plan-owned state (template, tables,
+      // options) plus the outer factory's shared vector via its own copy.
+      const PhysicalNode& tmpl = *n.children[0];
+      auto sub = SplitRange(morsel.second - morsel.first, n.dop);
+      for (auto& r : sub) {
+        r.first += morsel.first;
+        r.second += morsel.first;
+      }
+      const size_t base = *shared_idx;
+      exec::FragmentFactory factory =
+          [&tmpl, &tables, &opts, base, sub = std::move(sub),
+           shared](int f, ExecStats* fs) {
+            size_t idx = base;
+            return CompileFragment(tmpl, tables, fs, opts, sub[f], shared,
+                                   &idx);
+          };
+      // Skip the joins the inner fragments consume, so a (hypothetical)
+      // consumer past this node keeps the pre-order numbering.
+      *shared_idx = base + CountChainJoins(tmpl);
+      return exec::Exchange(n.dop, std::move(factory),
+                            n.ordered_merge ? exec::MergeMode::kOrderedMerge
+                                            : exec::MergeMode::kUnion,
+                            n.spec, opts.pool, stats, opts.batch_rows);
+    }
     default:
       throw std::logic_error("CompileFragment: node is not fragment-safe");
   }
@@ -1055,6 +1162,7 @@ exec::OpPtr CompileNode(const PhysicalNode& n,
         exec::SortOptions so;
         so.memory_budget_rows = opts.spill_budget_rows;
         so.temp_dir = opts.spill_dir;
+        so.pool = opts.pool;
         op = exec::ExternalSort(
             CompileNode(*n.children[0], tables, stats, opts), n.spec, so,
             stats, opts.batch_rows);
@@ -1097,15 +1205,19 @@ exec::OpPtr CompileNode(const PhysicalNode& n,
       const PhysicalNode& tmpl = *n.children[0];
       std::vector<std::shared_ptr<const exec::SharedHashTable>> shared;
       BuildSharedTables(tmpl, tables, stats, opts, &shared);
-      const auto ranges = MorselRanges(tmpl, tables, n.dop);
-      // The exchange constructor consumes the factory synchronously, so
-      // capturing the locals by reference is safe.
-      exec::FragmentFactory factory = [&](int f, ExecStats* fs) {
-        size_t idx = 0;
-        return CompileFragment(tmpl, tables, fs, opts, ranges[f], shared,
-                               &idx);
-      };
-      op = exec::Exchange(n.dop, factory,
+      auto ranges = MorselRanges(tmpl, tables, n.dop);
+      // Fragments build lazily inside producer tasks, long after this
+      // frame is gone: the factory owns the morsel ranges and shared-table
+      // handles outright, and refers only to plan-owned state (template
+      // node, tables, options), which outlives the compiled tree.
+      exec::FragmentFactory factory =
+          [&tmpl, &tables, &opts, ranges = std::move(ranges),
+           shared = std::move(shared)](int f, ExecStats* fs) {
+            size_t idx = 0;
+            return CompileFragment(tmpl, tables, fs, opts, ranges[f],
+                                   shared, &idx);
+          };
+      op = exec::Exchange(n.dop, std::move(factory),
                           n.ordered_merge ? exec::MergeMode::kOrderedMerge
                                           : exec::MergeMode::kUnion,
                           n.spec, opts.pool, stats, opts.batch_rows);
@@ -1115,14 +1227,17 @@ exec::OpPtr CompileNode(const PhysicalNode& n,
       const PhysicalNode& tmpl = *n.children[0];
       std::vector<std::shared_ptr<const exec::SharedHashTable>> shared;
       BuildSharedTables(tmpl, tables, stats, opts, &shared);
-      const auto ranges = MorselRanges(tmpl, tables, n.dop);
-      exec::FragmentFactory factory = [&](int f, ExecStats* fs) {
-        size_t idx = 0;
-        return CompileFragment(tmpl, tables, fs, opts, ranges[f], shared,
-                               &idx);
-      };
-      op = exec::ParallelHashAggregate(n.dop, factory, n.group_cols, n.aggs,
-                                       opts.pool, stats, opts.batch_rows);
+      auto ranges = MorselRanges(tmpl, tables, n.dop);
+      exec::FragmentFactory factory =
+          [&tmpl, &tables, &opts, ranges = std::move(ranges),
+           shared = std::move(shared)](int f, ExecStats* fs) {
+            size_t idx = 0;
+            return CompileFragment(tmpl, tables, fs, opts, ranges[f],
+                                   shared, &idx);
+          };
+      op = exec::ParallelHashAggregate(n.dop, std::move(factory),
+                                       n.group_cols, n.aggs, opts.pool,
+                                       stats, opts.batch_rows);
       break;
     }
     case Kind::kCombinePartials: {
@@ -1362,7 +1477,8 @@ PhysicalPlan PlanQuery(const LogicalQuery& q, const CostModel& cost,
   Planner planner(q, cost);
   Cand winner = planner.Plan();
   if (options.dop > 1) {
-    ParallelizeSlot(&winner.node, options.dop, cost, &winner.proofs);
+    ParallelizeNode(&winner.node, options.dop, cost, &winner.proofs,
+                    std::max(1, options.max_exchange_depth));
   }
   PhysicalPlan plan;
   plan.root_ = std::move(winner.node);

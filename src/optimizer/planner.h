@@ -61,10 +61,18 @@ struct PlanOptions {
   /// pipeline is split into. 1 = serial (no exchange anywhere). The plan
   /// records the dop it was built for; Compile/Execute then need `pool`.
   int dop = 1;
-  /// Pool the exchange drains fragments on at execution time. Null with
-  /// dop > 1 runs fragments serially (same results, no speedup) — handy in
-  /// tests. Never nested: one exchange per plan, planner-enforced.
+  /// Pool the exchanges stream fragments on at execution time (and the
+  /// external sort prepares runs on). Null with dop > 1 runs fragments
+  /// serially (same results, no speedup) — handy in tests. Exchanges are
+  /// placed wherever profitable — several per plan, nested up to
+  /// `max_exchange_depth` — since producers are work-stealing scheduler
+  /// tasks, not reserved threads.
   common::ThreadPool* pool = nullptr;
+  /// How deep parallel regions may nest: 1 (default) places only flat
+  /// exchanges; >= 2 lets the partial-aggregation rewrite subdivide each
+  /// fragment's morsel behind an inner exchange of its own (each level
+  /// still cost-gated, each recording its own merge proof).
+  int max_exchange_depth = 1;
   /// When >= 0, every Sort enforcer compiles to an ExternalSort that holds
   /// at most this many rows in memory before spilling a sorted run to
   /// disk. < 0 = in-memory sorts (the default).

@@ -1,15 +1,20 @@
 // Tests for the shared concurrency layer: exact-once index coverage under
 // chunked claiming, caller participation, exception propagation, pool reuse
-// across batches, and serialization of concurrent ParallelFor callers.
+// across batches, serialization of concurrent ParallelFor callers, and the
+// work-stealing scheduler's edge cases — nested submission (the barrier
+// deadlock regression), task groups that grow while they run, cancellation,
+// and error propagation through TaskGroup::Wait.
 
 #include "common/thread_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace od {
@@ -100,6 +105,122 @@ TEST(ThreadPoolTest, ConcurrentCallersSerialize) {
     ASSERT_EQ(a[i].load(), 1);
     ASSERT_EQ(b[i].load(), 1);
   }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerTasksCompletes) {
+  // Regression for the nested-barrier deadlock: with a thread-per-batch
+  // pool, every worker parks at the outer join while the inner loops wait
+  // for a free thread, and nothing ever runs. On the task scheduler the
+  // outer waiters *help* (Wait runs queued tasks), so the nest drains no
+  // matter how the chunks land on workers.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, [&](int64_t) {
+    pool.ParallelFor(64, [&](int64_t i) { total.fetch_add(i); });
+  });
+  EXPECT_EQ(total.load(), 8 * (64 * 63 / 2));
+}
+
+TEST(ThreadPoolTest, ThreeLevelNestingCompletes) {
+  // Depth is unbounded in principle; three levels on a two-thread pool
+  // already exercises helping from inside helped tasks.
+  ThreadPool pool(2);
+  std::atomic<int64_t> leaves{0};
+  pool.ParallelFor(4, [&](int64_t) {
+    pool.ParallelFor(4, [&](int64_t) {
+      pool.ParallelFor(4, [&](int64_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TaskGroupTest, TasksSubmittingIntoTheirOwnGroupAllComplete) {
+  // The streaming-exchange pump pattern: a running task re-submits into
+  // its own group (a parked producer rescheduling itself). Wait must not
+  // return until the re-submitted work has run too.
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  std::function<void(int)> chain = [&](int depth) {
+    ran.fetch_add(1);
+    if (depth < 5) group.Submit([&chain, depth] { chain(depth + 1); });
+  };
+  for (int i = 0; i < 8; ++i) group.Submit([&chain] { chain(0); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 8 * 6);
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstErrorThenClears) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([] { throw std::runtime_error("task failed"); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // The error was consumed: a second Wait (and the destructor) is clean.
+  group.Wait();
+}
+
+TEST(TaskGroupTest, CancelMakesUnstartedTasksNoOps) {
+  ThreadPool pool(3);  // two workers (the pool's caller is thread three)
+  TaskGroup group(&pool);
+  std::atomic<int> blockers_in{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> counted{0};
+  // Occupy both workers, then queue work behind them and cancel it before
+  // letting the workers go. (The waiter below can't steal the counting
+  // tasks early: it only starts helping inside Wait, after the Cancel.)
+  for (int i = 0; i < 2; ++i) {
+    group.Submit([&] {
+      blockers_in.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (blockers_in.load() < 2) std::this_thread::yield();
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&] { counted.fetch_add(1); });
+  }
+  group.Cancel();
+  release.store(true);
+  group.Wait();
+  EXPECT_EQ(counted.load(), 0);
+}
+
+TEST(TaskGroupTest, NullAndSingleThreadPoolsRunInline) {
+  // No pool (and a one-thread pool, which spawns no workers) degrade to
+  // immediate inline execution with errors still surfaced at Wait.
+  for (int variant = 0; variant < 2; ++variant) {
+    ThreadPool serial(1);
+    TaskGroup group(variant == 0 ? nullptr : &serial);
+    int runs = 0;
+    group.Submit([&] { ++runs; });
+    EXPECT_EQ(runs, 1);  // ran before Submit returned
+    group.Submit([] { throw std::runtime_error("inline boom"); });
+    EXPECT_THROW(group.Wait(), std::runtime_error);
+  }
+}
+
+TEST(ThreadPoolTest, ExternalThreadsShareOnePool) {
+  // Non-worker threads submit through the injection queue; workers (and
+  // helping waiters) drain it. Several external submitters at once must
+  // each see exactly their own group complete.
+  ThreadPool pool(4);
+  constexpr int kThreads = 3;
+  constexpr int kTasksEach = 200;
+  std::vector<std::atomic<int>> done(kThreads);
+  for (auto& d : done) d.store(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TaskGroup group(&pool);
+      for (int i = 0; i < kTasksEach; ++i) {
+        group.Submit([&, t] { done[t].fetch_add(1); });
+      }
+      group.Wait();
+      EXPECT_EQ(done[t].load(), kTasksEach);
+    });
+  }
+  for (auto& th : threads) th.join();
 }
 
 }  // namespace

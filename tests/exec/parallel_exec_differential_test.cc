@@ -160,6 +160,33 @@ void SweepAgainstSerial(const LogicalQuery& q, common::ThreadPool* pool) {
       }
     }
   }
+
+  // The nested arm: depth-2 exchanges (the partial-aggregation template
+  // subdivides each fragment's morsel behind an inner exchange) must be
+  // just as bit-identical — and just as sort-free — as the flat plans.
+  for (int64_t batch : {int64_t{3}, int64_t{4096}}) {
+    SCOPED_TRACE(q.name + " nested dop=4 depth=2 batch=" +
+                 std::to_string(batch));
+    PlanOptions opts;
+    opts.dop = 4;
+    opts.pool = pool;
+    opts.batch_rows = batch;
+    opts.max_exchange_depth = 2;
+    PhysicalPlan plan = PlanQuery(q, cm, opts);
+    if (!serial_has_sort) {
+      EXPECT_FALSE(ExplainMentions(plan, "Sort"))
+          << "nested plan reintroduced a sort:\n" << plan.Explain();
+    }
+    EXPECT_EQ(plan.root().out_ordering, serial_order);
+    ExecStats stats;
+    Table out = RunChecked(plan, &stats);
+    if (!serial_has_sort) EXPECT_EQ(stats.sorts, 0);
+    if (serial_order.empty()) {
+      EXPECT_TRUE(RowsIdentical(ref_canonical, Canonical(out)));
+    } else {
+      EXPECT_TRUE(RowsIdentical(ref, out));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -236,6 +263,44 @@ TEST_F(WarehouseDifferentialTest, DailySalesParallelPlanUsesAnExchange) {
     }
   }
   EXPECT_TRUE(has_merge_proof) << "no order-preserving-merge proof recorded";
+}
+
+TEST_F(WarehouseDifferentialTest, DepthTwoPlanShowsTwoProvenExchanges) {
+  // Parallel scan + parallel aggregate in one plan: at depth 2 the
+  // partial-aggregation template subdivides each fragment's morsel behind
+  // an inner exchange, so EXPLAIN carries two exchanges — and the proofs
+  // carry one order-preserving-merge argument per exchange.
+  LogicalQuery q = warehouse::DailySalesQuery(
+      &fact_, &dim_, index_.get(), parts_.get(), dim_ods_, kStartYear + 1);
+  CostModel cm;
+  cm.fragment_startup = 0.0;
+  PlanOptions opts;
+  opts.dop = 4;
+  opts.pool = pool_.get();
+  opts.max_exchange_depth = 2;
+  PhysicalPlan plan = PlanQuery(q, cm, opts);
+  const std::string explain = plan.Explain();
+  int exchanges = 0;
+  for (size_t pos = explain.find("Exchange"); pos != std::string::npos;
+       pos = explain.find("Exchange", pos + 1)) {
+    ++exchanges;
+  }
+  EXPECT_GE(exchanges, 2) << explain;
+  EXPECT_NE(explain.find("nested"), std::string::npos) << explain;
+  EXPECT_FALSE(ExplainMentions(plan, "Sort")) << explain;
+  int merge_proofs = 0;
+  for (const auto& p : plan.proofs()) {
+    if (p.find("k-way merge") != std::string::npos) ++merge_proofs;
+  }
+  EXPECT_GE(merge_proofs, 2) << "each exchange must record its own proof";
+
+  // And the nested plan still reproduces the serial result exactly.
+  PhysicalPlan serial = PlanQuery(q);
+  ExecStats ref_stats, stats;
+  Table ref = serial.Execute(&ref_stats);
+  Table out = RunChecked(plan, &stats);
+  EXPECT_EQ(stats.sorts, 0);
+  EXPECT_TRUE(RowsIdentical(ref, out));
 }
 
 TEST_F(WarehouseDifferentialTest, TaxOrderByOrderedMergeReproducesSerial) {

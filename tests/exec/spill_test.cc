@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "engine/index.h"
 #include "engine/ops.h"
 #include "exec/operator.h"
@@ -211,6 +212,33 @@ TEST_F(SpillTest, TempFilesCleanedOnEarlyLimitExit) {
     // The limit stopped pulling long before the merge finished.
   }
   EXPECT_GT(stats.spills, 0);
+  EXPECT_EQ(FilesInDir(), 0);
+}
+
+TEST_F(SpillTest, ParallelRunPrepBitIdenticalToSerial) {
+  // With a pool, run sorting/writing happens on scheduler tasks and a
+  // run count past the merge fan-in triggers the parallel pre-merge —
+  // neither may move a single row: the tiebreak hierarchy (in-run order,
+  // then run index) is the same one the serial merge uses.
+  Table t = MakeMessy(20000);
+  const SortSpec spec{0, 1};
+
+  opt::ExecStats mem_stats;
+  OpPtr mem = Sort(Scan(&t), spec, &mem_stats);
+  Table expect = Drain(mem.get(), &mem_stats);
+
+  common::ThreadPool pool(4);
+  opt::ExecStats stats;
+  {
+    SortOptions so;
+    so.memory_budget_rows = 64;  // ~313 runs: far past the fan-in of 8
+    so.temp_dir = dir_.string();
+    so.pool = &pool;
+    OpPtr op = ExternalSort(Scan(&t), spec, so, &stats);
+    Table got = Drain(op.get(), &stats);
+    EXPECT_TRUE(TablesBitIdentical(expect, got));
+  }
+  EXPECT_GT(stats.spills, 8);
   EXPECT_EQ(FilesInDir(), 0);
 }
 

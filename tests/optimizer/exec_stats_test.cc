@@ -25,6 +25,7 @@ ExecStats MakeStats(int64_t base) {
   s.spills = static_cast<int>(base + 11);
   s.spilled_rows = base + 12;
   s.spilled_bytes = base + 13;
+  s.exchange_peak_rows = base + 14;
   return s;
 }
 
@@ -45,6 +46,17 @@ TEST(ExecStatsTest, MergeAddsEveryField) {
   EXPECT_EQ(a.spills, 111 + 1011);
   EXPECT_EQ(a.spilled_rows, 112 + 1012);
   EXPECT_EQ(a.spilled_bytes, 113 + 1013);
+  // Watermark semantics: the larger side wins, sums would double-count.
+  EXPECT_EQ(a.exchange_peak_rows, 1014);
+}
+
+TEST(ExecStatsTest, PeakRowsMergesByMaxEitherDirection) {
+  ExecStats a;
+  a.exchange_peak_rows = 500;
+  ExecStats b;
+  b.exchange_peak_rows = 40;
+  a.Merge(b);
+  EXPECT_EQ(a.exchange_peak_rows, 500);
 }
 
 TEST(ExecStatsTest, MergeWithDefaultIsIdentity) {
@@ -69,6 +81,7 @@ TEST(ExecStatsTest, ToStringNamesEveryField) {
   EXPECT_NE(s.find("spills=211"), std::string::npos) << s;
   EXPECT_NE(s.find("spilled_rows=212"), std::string::npos) << s;
   EXPECT_NE(s.find("spilled_bytes=213"), std::string::npos) << s;
+  EXPECT_NE(s.find("exchange_peak_rows=214"), std::string::npos) << s;
 }
 
 }  // namespace
