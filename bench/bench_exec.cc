@@ -176,7 +176,7 @@ void BM_ExecParallelGroupBy10M(benchmark::State& state) {
   opt::LogicalQuery q;
   q.name = "groupby_item";
   q.tables.push_back(opt::TableRef{"store_sales", &w.fact, nullptr, nullptr,
-                                   nullptr, -1});
+                                   nullptr, nullptr, -1});
   q.filters.resize(1);
   q.group_cols = {f.ss_item_sk};
   q.aggs = {{engine::AggSpec::Kind::kSum, f.ss_net_paid, "sum_net"},

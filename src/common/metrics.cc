@@ -18,6 +18,31 @@ uint32_t ThreadSlot() {
 
 }  // namespace metrics_internal
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatLabel(const std::string& key, const std::string& value) {
+  return key + "=\"" + EscapeLabelValue(value) + "\"";
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 
@@ -476,14 +501,35 @@ MetricsSnapshot MetricRegistry::FromPrometheusText(const std::string& text) {
       }
       continue;
     }
-    // "<name>[{labels}] <value>"
-    const size_t space = line.rfind(' ');
-    if (space == std::string::npos) {
+    // "<name>[{labels}] <value>". The key ends at the first space OUTSIDE
+    // the label braces — a quoted label value may itself contain spaces
+    // (escaped quotes/backslashes are skipped while scanning), so a plain
+    // rfind(' ') would split inside the labels.
+    size_t key_end = std::string::npos;
+    {
+      bool in_quotes = false;
+      for (size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (in_quotes) {
+          if (ch == '\\') {
+            ++i;  // skip the escaped character
+          } else if (ch == '"') {
+            in_quotes = false;
+          }
+        } else if (ch == '"') {
+          in_quotes = true;
+        } else if (ch == ' ') {
+          key_end = i;
+          break;
+        }
+      }
+    }
+    if (key_end == std::string::npos) {
       throw std::invalid_argument("metrics parse error: bad sample line '" +
                                   line + "'");
     }
-    std::string key = line.substr(0, space);
-    const std::string value = line.substr(space + 1);
+    std::string key = line.substr(0, key_end);
+    const std::string value = line.substr(key_end + 1);
     std::string name, labels;
     SplitKey(key, &name, &labels);
 

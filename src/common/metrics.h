@@ -40,6 +40,18 @@ namespace metrics_internal {
 uint32_t ThreadSlot();
 }  // namespace metrics_internal
 
+/// Escapes a string for use inside a Prometheus label value: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`. Arbitrary
+/// external strings (tenant names, file paths) must pass through this (or
+/// FormatLabel) before entering a label body, so the registry key stays a
+/// single printable token that both exporters and their round-trip parsers
+/// preserve verbatim.
+std::string EscapeLabelValue(const std::string& value);
+
+/// One label-body entry `key="value"` with the value escaped. Join several
+/// with ',' to build the `labels` argument of MetricRegistry::Get*.
+std::string FormatLabel(const std::string& key, const std::string& value);
+
 /// A monotonically increasing counter. Writers call `Add`; `Value` sums
 /// the shards. Obtain instances from MetricRegistry::GetCounter.
 class Counter {

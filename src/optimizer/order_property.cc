@@ -17,12 +17,12 @@ engine::SortSpec ToSpec(const AttributeList& list) {
 
 bool OrderReasoner::Provides(const engine::SortSpec& provided,
                              const engine::SortSpec& required) const {
-  return prover_.Implies(ToList(provided), ToList(required));
+  return prover_->Implies(ToList(provided), ToList(required));
 }
 
 bool OrderReasoner::Equivalent(const engine::SortSpec& a,
                                const engine::SortSpec& b) const {
-  return prover_.OrderEquivalent(ToList(a), ToList(b));
+  return prover_->OrderEquivalent(ToList(a), ToList(b));
 }
 
 bool OrderReasoner::GroupsContiguousUnder(
@@ -34,7 +34,7 @@ bool OrderReasoner::GroupsContiguousUnder(
   // Sufficient: the stream order determines the group columns' order
   // (P ↦ G), in which case equal groups cannot interleave; or the stream
   // functionally pins the group columns within equal prefixes (P ↦ P∘G).
-  return prover_.Implies(p, g) || prover_.Implies(p, p.Concat(g));
+  return prover_->Implies(p, g) || prover_->Implies(p, p.Concat(g));
 }
 
 }  // namespace opt

@@ -33,13 +33,21 @@ class OrderReasoner {
   /// ODs on the theory mid-flight and the reasoner's answers track the new
   /// catalog (the prover's memo is kept consistent incrementally).
   explicit OrderReasoner(std::shared_ptr<theory::Theory> theory)
-      : theory_(std::move(theory)), prover_(theory_) {}
+      : theory_(std::move(theory)),
+        prover_(std::make_shared<prover::Prover>(theory_)) {}
   /// Convenience for a frozen catalog.
   explicit OrderReasoner(DependencySet constraints)
       : OrderReasoner(
             std::make_shared<theory::Theory>(std::move(constraints))) {}
+  /// Shares an existing prover — and therefore its memo — instead of
+  /// constructing a private one. This is how planning against a pinned
+  /// snapshot stays warm: every service session planning at one (tenant,
+  /// epoch) routes its order-property questions through that epoch's
+  /// shared prover, so a proof obtained once serves them all.
+  explicit OrderReasoner(std::shared_ptr<prover::Prover> prover)
+      : theory_(prover->shared_theory()), prover_(std::move(prover)) {}
 
-  const prover::Prover& prover() const { return prover_; }
+  const prover::Prover& prover() const { return *prover_; }
   theory::Theory& theory() { return *theory_; }
   const theory::Theory& theory() const { return *theory_; }
 
@@ -66,7 +74,7 @@ class OrderReasoner {
 
  private:
   std::shared_ptr<theory::Theory> theory_;
-  prover::Prover prover_;
+  std::shared_ptr<prover::Prover> prover_;
 };
 
 }  // namespace opt

@@ -117,7 +117,14 @@ class Planner {
       }
     }
     for (const auto& t : q_.tables) {
-      if (t.ods != nullptr) {
+      if (t.prover != nullptr) {
+        if (t.ods != nullptr && t.prover->shared_theory() != t.ods) {
+          throw std::invalid_argument(
+              "PlanQuery: TableRef::prover is attached to a different "
+              "theory than TableRef::ods");
+        }
+        reasoners_.push_back(std::make_unique<OrderReasoner>(t.prover));
+      } else if (t.ods != nullptr) {
         reasoners_.push_back(std::make_unique<OrderReasoner>(t.ods));
       } else {
         reasoners_.push_back(

@@ -93,6 +93,12 @@ struct TableRef {
   const engine::OrderedIndex* index = nullptr;              // optional
   const engine::PartitionedTable* partitions = nullptr;     // optional
   std::shared_ptr<theory::Theory> ods;                      // optional
+  /// Optional shared prover over `ods` (must be attached to that same
+  /// theory). When set, the planner's OrderReasoner reuses it — and its
+  /// memo — instead of constructing a cold private prover, so repeated
+  /// planning against one pinned catalog (service sessions, plan caches)
+  /// pays for each proof once. When null, a private prover is built.
+  std::shared_ptr<prover::Prover> prover;
   /// Column this table's surrogate join key is declared order-equivalent
   /// to (e.g. d_date for d_date_sk) — enables the Section 2.3 join
   /// elimination when the equivalence is *proven* from `ods`.

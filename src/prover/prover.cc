@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 
 #include "common/metrics.h"
@@ -54,6 +55,9 @@ Prover::Prover(std::shared_ptr<theory::Theory> theory)
 
 Prover::Prover(DependencySet m)
     : Prover(std::make_shared<theory::Theory>(m)) {}
+
+Prover::Prover(const theory::TheorySnapshot& snapshot)
+    : Prover(std::make_shared<theory::Theory>(snapshot)) {}
 
 Prover::~Prover() { theory_->Unsubscribe(listener_); }
 
@@ -294,6 +298,36 @@ bool Prover::Implies(const OrderDependency& dep) const {
 bool Prover::Implies(const AttributeList& lhs,
                      const AttributeList& rhs) const {
   return Implies(OrderDependency(lhs, rhs));
+}
+
+std::optional<bool> Prover::CachedImplies(const OrderDependency& dep) const {
+  CacheShard& shard = ShardFor(dep);
+  auto cached = CacheLookup(shard, dep);
+  if (cached) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().hits.Add();
+  }
+  return cached;
+}
+
+int64_t Prover::SeedMemoFrom(const Prover& other) {
+  int64_t imported = 0;
+  for (size_t i = 0; i < kCacheShards; ++i) {
+    // Identical catalogs hash identically, so shard i maps onto shard i.
+    CacheShard& dst = cache_[i];
+    const CacheShard& src = other.cache_[i];
+    // Deadlock-free two-mutex acquisition: seeding runs in both directions
+    // (epoch prover <- retainer at publish, retainer <- epoch prover at the
+    // Apply fold), so a fixed src-then-dst order would invert between the
+    // same pair of provers.
+    std::shared_lock<std::shared_mutex> src_lock(src.mu, std::defer_lock);
+    std::unique_lock<std::shared_mutex> dst_lock(dst.mu, std::defer_lock);
+    std::lock(src_lock, dst_lock);
+    for (const auto& [dep, entry] : src.map) {
+      imported += dst.map.emplace(dep, entry).second ? 1 : 0;
+    }
+  }
+  return imported;
 }
 
 std::vector<bool> Prover::ProveAll(const std::vector<OrderDependency>& deps,

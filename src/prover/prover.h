@@ -93,6 +93,14 @@ class Prover {
   explicit Prover(std::shared_ptr<theory::Theory> theory);
   /// Convenience for a frozen catalog: wraps `m` in a private theory.
   explicit Prover(DependencySet m);
+  /// Snapshot-backed construction: restores a private frozen replica of
+  /// the snapshotted catalog (same constraints, stable ids, and epoch — so
+  /// memo entries and their id-naming support certificates are exchangeable
+  /// with any prover on the same catalog state, see SeedMemoFrom) and
+  /// proves against it. The replica is reachable via shared_theory() but
+  /// must never be mutated while queries run, as usual; the snapshot
+  /// itself is only read during construction.
+  explicit Prover(const theory::TheorySnapshot& snapshot);
   ~Prover();
 
   Prover(const Prover&) = delete;
@@ -111,6 +119,12 @@ class Prover {
   /// ℳ ⊨ X ↦ Y.
   bool Implies(const OrderDependency& dep) const;
   bool Implies(const AttributeList& lhs, const AttributeList& rhs) const;
+
+  /// The memoized answer for `dep`, if one is cached — never runs a model
+  /// search. A hit counts toward cache_hits(): it answered the query. This
+  /// is the service layer's fast path (probe the shared epoch memo before
+  /// paying the batching handshake); one shared-lock map lookup.
+  std::optional<bool> CachedImplies(const OrderDependency& dep) const;
 
   /// Batch form of Implies: answers every query, fanning the model searches
   /// across `pool` when given (serial fallback otherwise). Results are
@@ -178,6 +192,21 @@ class Prover {
   /// Number of entries currently memoized (takes every shard lock; meant
   /// for tests and diagnostics, not hot paths).
   int64_t memo_size() const;
+
+  /// Copies every memo entry of `other` into this prover's memo (existing
+  /// entries win on collision). PRECONDITION: both provers' theories are in
+  /// the same catalog state — identical deps, stable ids, and epoch — or
+  /// the imported answers and their certificates would be unsound. The
+  /// service's writer path uses this to hand a freshly frozen epoch prover
+  /// the memo its per-tenant retainer kept alive across churn (the PR 4
+  /// monotonicity-aware retention), so a published epoch starts warm.
+  /// Returns the number of entries imported. `other` may be serving
+  /// concurrent queries (its shards are read under shared locks); *this*
+  /// must not be — the service only calls it writer-side, before the
+  /// destination prover is ever published. Per-shard lock pairs are
+  /// acquired deadlock-free (std::lock), so seeding in both directions
+  /// between the same pair of provers establishes no lock-order cycle.
+  int64_t SeedMemoFrom(const Prover& other);
 
   /// The theory epoch at which the cached answer for `dep` was derived, if
   /// one is memoized. Retention preserves the original tag, so

@@ -1,0 +1,431 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace od {
+namespace service {
+
+namespace internal {
+
+/// Per-tenant registry instruments, labeled `tenant="<name>"` (escaped) so
+/// one Prometheus/JSON scrape separates tenants — the "per-tenant scrape
+/// is a label away" follow-through. References are process-lived.
+struct TenantMetrics {
+  common::Counter& sessions_opened;
+  common::Counter& implies;
+  common::Counter& fastpath_hits;
+  common::Counter& batches;
+  common::Counter& batched_queries;
+  common::Counter& publishes;
+  common::Counter& memo_seeded;
+  common::Counter& plans;
+  common::Gauge& published_epoch;
+  common::Histogram& batch_size;
+  common::Histogram& publish_us;
+
+  explicit TenantMetrics(const std::string& tenant)
+      : TenantMetrics(common::MetricRegistry::Global(),
+                      common::FormatLabel("tenant", tenant)) {}
+
+ private:
+  TenantMetrics(common::MetricRegistry& reg, const std::string& label)
+      : sessions_opened(reg.GetCounter(
+            "od_service_sessions_opened_total",
+            "Sessions pinned to a published epoch", label)),
+        implies(reg.GetCounter("od_service_implies_total",
+                               "Implication queries served to sessions",
+                               label)),
+        fastpath_hits(reg.GetCounter(
+            "od_service_fastpath_hits_total",
+            "Implies answered from the shared epoch memo without entering "
+            "the batcher",
+            label)),
+        batches(reg.GetCounter("od_service_batches_total",
+                               "Coalesced ProveAll sweeps executed by "
+                               "batch leaders",
+                               label)),
+        batched_queries(reg.GetCounter(
+            "od_service_batched_queries_total",
+            "Implies misses that rode a coalesced ProveAll sweep", label)),
+        publishes(reg.GetCounter("od_service_publishes_total",
+                                 "Epoch states published by the writer "
+                                 "path",
+                                 label)),
+        memo_seeded(reg.GetCounter(
+            "od_service_memo_seeded_total",
+            "Memo entries the per-tenant retainer carried into freshly "
+            "published epoch provers",
+            label)),
+        plans(reg.GetCounter("od_service_plans_total",
+                             "Physical plans built against pinned "
+                             "snapshots",
+                             label)),
+        published_epoch(reg.GetGauge("od_service_published_epoch",
+                                     "Latest catalog epoch published for "
+                                     "this tenant",
+                                     label)),
+        batch_size(reg.GetHistogram("od_service_batch_size",
+                                    "Queries per coalesced ProveAll sweep",
+                                    label)),
+        publish_us(reg.GetHistogram(
+            "od_service_publish_us",
+            "Writer-path publication cost (snapshot + freeze + memo seed), "
+            "microseconds",
+            label)) {}
+};
+
+/// Group-commit coalescing of concurrent Implies misses into ProveAll
+/// sweeps. The first thread to find no leader running becomes the leader:
+/// it repeatedly claims up to max_batch pending requests, proves them in
+/// one ProveAll fanned across the scheduler, marks them done, and exits
+/// once the queue drains; followers wait on the condition variable (a
+/// follower whose request is still pending when the leader exits takes
+/// the leader role itself). No lock is held across proving.
+class ImpliesBatcher {
+ public:
+  ImpliesBatcher(const prover::Prover* prover, common::ThreadPool* pool,
+                 int max_batch, TenantMetrics* metrics)
+      : prover_(prover),
+        pool_(pool),
+        max_batch_(max_batch < 1 ? 1 : max_batch),
+        metrics_(metrics) {}
+
+  bool Implies(const OrderDependency& dep) {
+    Request req(&dep);
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_.push_back(&req);
+    while (!req.done) {
+      if (!leader_active_) {
+        RunAsLeader(lock, &req);
+      } else {
+        cv_.wait(lock, [&] { return req.done || !leader_active_; });
+      }
+    }
+    return req.result;
+  }
+
+ private:
+  struct Request {
+    explicit Request(const OrderDependency* d) : dep(d) {}
+    const OrderDependency* dep;
+    bool result = false;
+    bool done = false;
+  };
+
+  /// Precondition: `lock` held, leader_active_ == false. Postcondition:
+  /// `lock` held, leader_active_ == false, own request done (the leader
+  /// never exits while its own request is pending — it keeps draining).
+  void RunAsLeader(std::unique_lock<std::mutex>& lock, Request* own) {
+    leader_active_ = true;
+    while (!pending_.empty()) {
+      std::vector<Request*> batch;
+      const size_t take = pending_.size() < static_cast<size_t>(max_batch_)
+                              ? pending_.size()
+                              : static_cast<size_t>(max_batch_);
+      batch.assign(pending_.begin(), pending_.begin() + take);
+      pending_.erase(pending_.begin(), pending_.begin() + take);
+      lock.unlock();
+
+      std::vector<bool> answers;
+      try {
+        OD_TRACE_SPAN("service.prove_batch");
+        std::vector<OrderDependency> queries;
+        queries.reserve(batch.size());
+        for (const Request* r : batch) queries.push_back(*r->dep);
+        answers = prover_->ProveAll(queries, pool_);
+        metrics_->batches.Add();
+        metrics_->batched_queries.Add(static_cast<int64_t>(batch.size()));
+        metrics_->batch_size.Record(static_cast<int64_t>(batch.size()));
+      } catch (...) {
+        // Requeue everyone else's request (a new leader will retry them),
+        // drop our own (we are about to unwind through the caller), and
+        // hand off leadership before rethrowing.
+        lock.lock();
+        for (Request* r : batch) {
+          if (r != own) pending_.push_back(r);
+        }
+        leader_active_ = false;
+        cv_.notify_all();
+        throw;
+      }
+
+      lock.lock();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->result = answers[i];
+        batch[i]->done = true;
+      }
+      cv_.notify_all();
+    }
+    leader_active_ = false;
+    cv_.notify_all();
+  }
+
+  const prover::Prover* prover_;
+  common::ThreadPool* pool_;
+  const int max_batch_;
+  TenantMetrics* metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Request*> pending_;
+  bool leader_active_ = false;
+};
+
+/// Everything a session needs at one (tenant, epoch): the immutable
+/// snapshot, the shared prover whose memo is the global-memo partition for
+/// this key, and the batcher coalescing cold queries. Logically immutable
+/// after publication — the prover's memo and the batcher synchronize
+/// internally — so any number of sessions share one EpochState by
+/// shared_ptr, and the state (memo included) dies with its last session
+/// once the writer has moved on.
+struct EpochState {
+  std::shared_ptr<const theory::TheorySnapshot> snapshot;
+  std::shared_ptr<prover::Prover> prover;
+  std::unique_ptr<ImpliesBatcher> batcher;
+};
+
+struct TenantState {
+  std::string name;
+  TenantMetrics metrics;
+  /// The server's scheduler (may be null: serial sweeps).
+  common::ThreadPool* pool = nullptr;
+
+  /// Serializes the writer path (mutations + publication).
+  std::mutex writer_mu;
+  /// The writer's private mutable catalog. Only the writer path touches
+  /// it; readers see it exclusively through published snapshots.
+  std::shared_ptr<theory::Theory> master;
+  /// Rides master's change feed; its memo survives churn via the
+  /// monotonicity-aware retention and seeds every published epoch prover.
+  std::unique_ptr<prover::Prover> retainer;
+
+  /// Guards only the `published` pointer swap — held for a pointer copy,
+  /// never across mutation or proving work.
+  mutable std::mutex publish_mu;
+  std::shared_ptr<const EpochState> published;
+
+  explicit TenantState(std::string tenant_name)
+      : name(std::move(tenant_name)), metrics(name) {}
+
+  std::shared_ptr<const EpochState> Published() const {
+    std::lock_guard<std::mutex> lock(publish_mu);
+    return published;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+/// Writer-path publication: freeze the master at its current epoch, seed
+/// the frozen prover with everything the retainer kept, and swap the
+/// published pointer. Caller holds writer_mu.
+std::shared_ptr<const internal::EpochState> PublishLocked(
+    internal::TenantState& tenant, const ServerOptions& options,
+    int64_t* seeded_out) {
+  OD_TRACE_SPAN("service.publish");
+  const auto start = std::chrono::steady_clock::now();
+  auto state = std::make_shared<internal::EpochState>();
+  state->snapshot = tenant.master->Snapshot();
+  state->prover = std::make_shared<prover::Prover>(*state->snapshot);
+  const int64_t seeded = state->prover->SeedMemoFrom(*tenant.retainer);
+  state->batcher = std::make_unique<internal::ImpliesBatcher>(
+      state->prover.get(), options.pool, options.max_batch,
+      &tenant.metrics);
+  {
+    std::lock_guard<std::mutex> lock(tenant.publish_mu);
+    tenant.published = state;
+  }
+  tenant.metrics.publishes.Add();
+  tenant.metrics.memo_seeded.Add(seeded);
+  tenant.metrics.published_epoch.Set(
+      static_cast<int64_t>(state->snapshot->epoch));
+  tenant.metrics.publish_us.Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (seeded_out != nullptr) *seeded_out = seeded;
+  return state;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+
+const std::string& Session::tenant() const { return tenant_->name; }
+
+uint64_t Session::epoch() const { return state_->snapshot->epoch; }
+
+const theory::TheorySnapshot& Session::snapshot() const {
+  return *state_->snapshot;
+}
+
+const std::shared_ptr<theory::Theory>& Session::theory() const {
+  return state_->prover->shared_theory();
+}
+
+bool Session::Implies(const OrderDependency& dep) const {
+  tenant_->metrics.implies.Add();
+  if (auto hit = state_->prover->CachedImplies(dep)) {
+    tenant_->metrics.fastpath_hits.Add();
+    return *hit;
+  }
+  return state_->batcher->Implies(dep);
+}
+
+std::vector<bool> Session::ProveAll(
+    const std::vector<OrderDependency>& deps) const {
+  tenant_->metrics.implies.Add(static_cast<int64_t>(deps.size()));
+  // Already a batch: skip the coalescing handshake and fan out directly.
+  return state_->prover->ProveAll(deps, tenant_->pool);
+}
+
+std::optional<Relation> Session::Counterexample(
+    const OrderDependency& dep) const {
+  return state_->prover->Counterexample(dep);
+}
+
+opt::PhysicalPlan Session::Plan(opt::LogicalQuery q,
+                                const opt::CostModel& cost,
+                                const opt::PlanOptions& options) const {
+  OD_TRACE_SPAN("service.plan");
+  tenant_->metrics.plans.Add();
+  for (auto& table : q.tables) {
+    if (table.ods == nullptr && table.prover == nullptr) {
+      // Bind the pinned catalog AND its shared epoch prover, so the
+      // planner's elision proofs read and feed the (tenant, epoch) memo.
+      table.ods = state_->prover->shared_theory();
+      table.prover = state_->prover;
+    }
+  }
+  return opt::PlanQuery(q, cost, options);
+}
+
+void Session::Refresh() { state_ = tenant_->Published(); }
+
+const prover::Prover& Session::pinned_prover() const {
+  return *state_->prover;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(ServerOptions options) : options_(options) {}
+
+Server::~Server() = default;
+
+void Server::CreateTenant(const std::string& tenant,
+                          const DependencySet& seed) {
+  auto state = std::make_unique<internal::TenantState>(tenant);
+  state->pool = options_.pool;
+  state->master = std::make_shared<theory::Theory>(seed);
+  state->retainer = std::make_unique<prover::Prover>(state->master);
+  {
+    // Publication needs no writer_mu here: the tenant is not yet visible.
+    PublishLocked(*state, options_, nullptr);
+  }
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  if (!tenants_.emplace(tenant, std::move(state)).second) {
+    throw std::invalid_argument("Server::CreateTenant: tenant '" + tenant +
+                                "' already exists");
+  }
+}
+
+bool Server::HasTenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  return tenants_.count(tenant) > 0;
+}
+
+std::vector<std::string> Server::Tenants() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) out.push_back(name);
+  return out;
+}
+
+internal::TenantState& Server::Tenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw std::out_of_range("od::service: unknown tenant '" + tenant + "'");
+  }
+  return *it->second;
+}
+
+ApplyResult Server::Apply(const std::string& tenant,
+                          const std::vector<Mutation>& mutations) {
+  internal::TenantState& state = Tenant(tenant);
+  std::lock_guard<std::mutex> writer(state.writer_mu);
+  // Fold the published epoch memo back into the retainer before mutating:
+  // the master has not changed since the last publication, so both provers
+  // are at the identical catalog state and the import is sound (the source
+  // shard locks tolerate sessions querying it concurrently). This closes
+  // the retention loop — answers sessions computed at the old epoch pass
+  // through the sweeps below and seed the next epoch's memo.
+  state.retainer->SeedMemoFrom(*state.Published()->prover);
+  ApplyResult result;
+  for (const Mutation& m : mutations) {
+    if (m.kind == Mutation::Kind::kAdd) {
+      // The retainer's listener sweeps its memo here, retaining entries
+      // whose certificates survive — the incremental-reproving payoff.
+      result.added.push_back(state.master->Add(m.od));
+    } else if (state.master->Remove(m.id)) {
+      ++result.removed;
+    }
+  }
+  PublishLocked(state, options_, &result.memo_seeded);
+  result.epoch = state.master->epoch();
+  return result;
+}
+
+theory::ConstraintId Server::Add(const std::string& tenant,
+                                 OrderDependency dep) {
+  return Apply(tenant, {Mutation::Add(std::move(dep))}).added.front();
+}
+
+bool Server::Remove(const std::string& tenant, theory::ConstraintId id) {
+  return Apply(tenant, {Mutation::Remove(id)}).removed > 0;
+}
+
+Session Server::OpenSession(const std::string& tenant) {
+  OD_TRACE_SPAN("service.open_session");
+  internal::TenantState& state = Tenant(tenant);
+  state.metrics.sessions_opened.Add();
+  return Session(&state, state.Published());
+}
+
+uint64_t Server::PublishedEpoch(const std::string& tenant) const {
+  return Tenant(tenant).Published()->snapshot->epoch;
+}
+
+std::shared_ptr<const theory::TheorySnapshot> Server::Catalog(
+    const std::string& tenant) const {
+  return Tenant(tenant).Published()->snapshot;
+}
+
+TenantStats Server::Stats(const std::string& tenant) const {
+  internal::TenantState& state = Tenant(tenant);
+  auto published = state.Published();
+  TenantStats stats;
+  stats.epoch = published->snapshot->epoch;
+  stats.catalog_size = published->snapshot->deps.Size();
+  stats.epoch_memo_size = published->prover->memo_size();
+  stats.epoch_searches = published->prover->searches_executed();
+  stats.epoch_cache_hits = published->prover->cache_hits();
+  stats.retainer_memo_size = state.retainer->memo_size();
+  stats.retainer_invalidated = state.retainer->entries_invalidated();
+  stats.retainer_retained = state.retainer->entries_retained();
+  return stats;
+}
+
+}  // namespace service
+}  // namespace od

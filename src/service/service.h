@@ -1,0 +1,244 @@
+#ifndef OD_SERVICE_SERVICE_H_
+#define OD_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/relation.h"
+#include "optimizer/planner.h"
+#include "prover/prover.h"
+#include "theory/theory.h"
+
+namespace od {
+
+namespace common {
+class ThreadPool;
+}  // namespace common
+
+/// The multi-tenant OD service: a long-running, in-process server façade
+/// over versioned `theory::Theory` catalogs — the deployment shape the
+/// paper's reasoning amortization asks for. Many client sessions prove and
+/// plan concurrently against *pinned, immutable snapshots* of a tenant's
+/// catalog while a single writer per tenant keeps mutating it:
+///
+///   * **Snapshot isolation.** `Server::OpenSession` pins the tenant's
+///     currently published `theory::TheorySnapshot` (plus the prover and
+///     batcher serving that epoch). The writer's later mutations are
+///     invisible to the session until it calls `Refresh()`; every answer a
+///     session returns is exactly the answer of a fresh prover at its
+///     pinned epoch (the churn differential suite enforces this bitwise).
+///   * **Readers never block the writer** (nor vice versa): the writer
+///     mutates its private master catalog and publishes a fresh immutable
+///     epoch state with one pointer swap; readers touch only their pinned
+///     state. The only shared locks are pointer-copy mutexes held for
+///     nanoseconds, never across proving or mutation work.
+///   * **A global memo keyed (tenant, epoch, query).** All sessions pinned
+///     to one (tenant, epoch) share that epoch's prover, so its sharded
+///     memo *is* the global memo partition for that key: a hot query
+///     proved once serves every session at the epoch. Publication seeds
+///     the new epoch's memo from a per-tenant retainer prover that rides
+///     the catalog's change feed, so the PR 4 monotonicity-aware retention
+///     (support-set and countermodel certificates) carries answers across
+///     epochs instead of recomputing them.
+///   * **Batching.** Concurrent `Session::Implies` misses coalesce — group
+///     commit style — into `Prover::ProveAll` sweeps fanned across the
+///     work-stealing scheduler, so N sessions asking cold questions pay
+///     one leader's sweep rather than N interleaved searches.
+///
+/// See docs/service.md for the architecture and lifecycle diagrams.
+namespace service {
+
+struct ServerOptions {
+  /// Scheduler that batched ProveAll sweeps (and Session::ProveAll) fan
+  /// across. Null runs sweeps serially on the leader thread.
+  common::ThreadPool* pool = nullptr;
+  /// Upper bound on Implies queries coalesced into one ProveAll sweep.
+  int max_batch = 256;
+};
+
+/// One writer-path catalog edit.
+struct Mutation {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  OrderDependency od;                               ///< kAdd payload
+  theory::ConstraintId id = theory::kNoConstraint;  ///< kRemove payload
+
+  static Mutation Add(OrderDependency dep) {
+    Mutation m;
+    m.kind = Kind::kAdd;
+    m.od = std::move(dep);
+    return m;
+  }
+  static Mutation Remove(theory::ConstraintId id) {
+    Mutation m;
+    m.kind = Kind::kRemove;
+    m.id = id;
+    return m;
+  }
+};
+
+/// Outcome of one writer sweep (Server::Apply): the epoch published after
+/// the whole sweep, the constraint ids minted for kAdd mutations (in
+/// mutation order; kRemove entries contribute nothing), how many removes
+/// found a live id, and how many memo entries the retention machinery
+/// carried into the freshly published epoch prover.
+struct ApplyResult {
+  uint64_t epoch = 0;
+  std::vector<theory::ConstraintId> added;
+  int removed = 0;
+  int64_t memo_seeded = 0;
+};
+
+/// Point-in-time counters for one tenant (diagnostics; see the
+/// `od_service_*{tenant=...}` registry metrics for scrapeable versions).
+struct TenantStats {
+  uint64_t epoch = 0;
+  int catalog_size = 0;
+  /// The published epoch prover's memo (the live global-memo partition
+  /// for (tenant, current epoch)) and its query counters.
+  int64_t epoch_memo_size = 0;
+  int64_t epoch_searches = 0;
+  int64_t epoch_cache_hits = 0;
+  /// The retainer prover that carries the memo across churn.
+  int64_t retainer_memo_size = 0;
+  int64_t retainer_invalidated = 0;
+  int64_t retainer_retained = 0;
+};
+
+namespace internal {
+struct EpochState;
+struct TenantState;
+}  // namespace internal
+
+class Server;
+
+/// A client handle pinned to one tenant's catalog at one epoch. Sessions
+/// are cheap (two pointers), movable, and safe to use from the owning
+/// thread while any number of other sessions — on the same or other
+/// epochs — run concurrently; one Session object itself is not meant to
+/// be shared across threads (open one per thread; they share the epoch
+/// memo anyway). Sessions must not outlive their Server.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& tenant() const;
+  /// The pinned catalog version. Stable until Refresh().
+  uint64_t epoch() const;
+  /// The pinned immutable snapshot (deps, FD projection, ids, attributes).
+  const theory::TheorySnapshot& snapshot() const;
+  /// The frozen replica theory backing the pinned epoch — safe for
+  /// unlimited concurrent reads; never mutated by the service.
+  const std::shared_ptr<theory::Theory>& theory() const;
+
+  /// ℳ@epoch ⊨ dep. Fast path: the shared epoch memo (one shared-lock
+  /// probe). Miss: coalesced with concurrent misses into a ProveAll sweep
+  /// on the server's scheduler.
+  bool Implies(const OrderDependency& dep) const;
+  bool Implies(const AttributeList& lhs, const AttributeList& rhs) const {
+    return Implies(OrderDependency(lhs, rhs));
+  }
+  /// Batch form, fanned directly across the server's scheduler. Results
+  /// are positionally aligned and bit-identical to asking one by one.
+  std::vector<bool> ProveAll(const std::vector<OrderDependency>& deps) const;
+  /// A two-row witness relation falsifying `dep` under the pinned catalog,
+  /// if not implied (see Prover::Counterexample).
+  std::optional<Relation> Counterexample(const OrderDependency& dep) const;
+
+  /// Cost-based physical planning against the pinned snapshot: every
+  /// table of `q` that declares no catalog of its own is bound to this
+  /// session's frozen theory AND its shared epoch prover, so the plan's
+  /// sort/join-elision proofs come from (and land in) the epoch memo.
+  opt::PhysicalPlan Plan(opt::LogicalQuery q,
+                         const opt::CostModel& cost = opt::CostModel(),
+                         const opt::PlanOptions& options =
+                             opt::PlanOptions()) const;
+
+  /// Re-pins to the tenant's latest published epoch (a pointer swap; any
+  /// in-flight answers already returned stay valid for the old epoch).
+  void Refresh();
+
+  /// The shared prover serving this session's pinned (tenant, epoch) —
+  /// diagnostics and tests (e.g. asserting a hot query searched once).
+  const prover::Prover& pinned_prover() const;
+
+ private:
+  friend class Server;
+  Session(internal::TenantState* tenant,
+          std::shared_ptr<const internal::EpochState> state)
+      : tenant_(tenant), state_(std::move(state)) {}
+
+  internal::TenantState* tenant_;
+  std::shared_ptr<const internal::EpochState> state_;
+};
+
+/// The in-process multi-tenant server. Thread contract:
+///
+///   * `OpenSession`, and every Session method, may run concurrently from
+///     any number of threads, concurrently with the writer path.
+///   * The writer path (`Add`/`Remove`/`Apply`) is internally serialized
+///     per tenant (a writer mutex), so multiple callers are safe — they
+///     queue. Each sweep publishes exactly one new epoch state.
+///   * `CreateTenant` may race with everything; tenant creation is
+///     idempotent-checked (throws on duplicates).
+///
+/// The Server must outlive every Session and every thread using it.
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a tenant with an optionally pre-seeded catalog and
+  /// publishes its first epoch. Throws std::invalid_argument if the name
+  /// is already taken.
+  void CreateTenant(const std::string& tenant,
+                    const DependencySet& seed = DependencySet());
+  bool HasTenant(const std::string& tenant) const;
+  std::vector<std::string> Tenants() const;
+
+  /// Writer path: applies the sweep to the tenant's master catalog (the
+  /// retainer prover's memo is swept per mutation with certificate-checked
+  /// retention) and publishes ONE new epoch state at the end, seeded with
+  /// everything the retainer kept. Throws std::out_of_range on unknown
+  /// tenants.
+  ApplyResult Apply(const std::string& tenant,
+                    const std::vector<Mutation>& mutations);
+  /// Single-mutation conveniences (one publish each).
+  theory::ConstraintId Add(const std::string& tenant, OrderDependency dep);
+  bool Remove(const std::string& tenant, theory::ConstraintId id);
+
+  /// Pins the tenant's latest published epoch. Throws std::out_of_range
+  /// on unknown tenants.
+  Session OpenSession(const std::string& tenant);
+
+  /// The latest published epoch / snapshot (what a new session would pin).
+  uint64_t PublishedEpoch(const std::string& tenant) const;
+  std::shared_ptr<const theory::TheorySnapshot> Catalog(
+      const std::string& tenant) const;
+
+  TenantStats Stats(const std::string& tenant) const;
+
+ private:
+  internal::TenantState& Tenant(const std::string& tenant) const;
+
+  ServerOptions options_;
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<internal::TenantState>> tenants_;
+};
+
+}  // namespace service
+}  // namespace od
+
+#endif  // OD_SERVICE_SERVICE_H_

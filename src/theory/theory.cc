@@ -31,6 +31,18 @@ Theory::Theory(const DependencySet& m) {
   for (const auto& dep : m.ods()) Add(dep);
 }
 
+Theory::Theory(const TheorySnapshot& snapshot)
+    : deps_(snapshot.deps),
+      fds_(snapshot.fd_projection),
+      ids_(snapshot.ids),
+      epoch_(snapshot.epoch),
+      next_id_(snapshot.next_id) {
+  // Rebuild the refcounted attribute universe from the restored deps; it
+  // lands element-identical to the snapshot's attribute set because the
+  // refcounts are a pure function of the constraint multiset.
+  for (const auto& dep : deps_.ods()) TrackAttributes(dep, +1);
+}
+
 void Theory::TrackAttributes(const OrderDependency& dep, int delta) {
   // Iterate the bitset directly — this runs on every mutation and on the
   // Theory(DependencySet) bulk path, where a ToVector() heap allocation
@@ -55,6 +67,7 @@ ConstraintId Theory::Add(OrderDependency dep) {
   TrackAttributes(dep, +1);
   deps_.Add(dep);  // after the uses above; `dep` is still valid here
   ++epoch_;
+  snapshot_cache_.reset();
   EpochBumps().Add();
   Notify(ChangeEvent{ChangeEvent::Kind::kAdd, id, std::move(dep), epoch_});
   return id;
@@ -69,6 +82,7 @@ bool Theory::Remove(ConstraintId id) {
   ids_.erase(ids_.begin() + *index);
   TrackAttributes(removed, -1);
   ++epoch_;
+  snapshot_cache_.reset();
   EpochBumps().Add();
   Notify(
       ChangeEvent{ChangeEvent::Kind::kRemove, id, std::move(removed), epoch_});
@@ -98,13 +112,30 @@ std::optional<OrderDependency> Theory::Find(ConstraintId id) const {
   return deps_[*index];
 }
 
+std::shared_ptr<const TheorySnapshot> Theory::Snapshot() const {
+  if (snapshot_cache_ && snapshot_cache_->epoch == epoch_) {
+    return snapshot_cache_;
+  }
+  auto snap = std::make_shared<TheorySnapshot>();
+  snap->epoch = epoch_;
+  snap->deps = deps_;
+  snap->fd_projection = fds_;
+  snap->ids = ids_;
+  snap->attributes = attributes_;
+  snap->next_id = next_id_;
+  snapshot_cache_ = snap;
+  return snapshot_cache_;
+}
+
 Theory::ListenerToken Theory::Subscribe(Listener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   const ListenerToken token = next_token_++;
   listeners_.emplace_back(token, std::move(listener));
   return token;
 }
 
 void Theory::Unsubscribe(ListenerToken token) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   listeners_.erase(
       std::remove_if(listeners_.begin(), listeners_.end(),
                      [token](const auto& p) { return p.first == token; }),
@@ -112,6 +143,10 @@ void Theory::Unsubscribe(ListenerToken token) {
 }
 
 void Theory::Notify(const ChangeEvent& event) const {
+  // Held across the fan-out: an unsubscribing prover (destructor on some
+  // reader thread) must not yank a listener mid-delivery. Re-entrant
+  // subscription from inside a listener is forbidden by contract.
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   ListenerNotifications().Add(static_cast<int64_t>(listeners_.size()));
   for (const auto& [token, fn] : listeners_) fn(event);
 }

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -34,6 +36,37 @@ struct ChangeEvent {
   uint64_t epoch;
 };
 
+/// An immutable, epoch-tagged copy of a Theory's full logical state — the
+/// unit of publication in the snapshot-isolation design (docs/theory.md,
+/// docs/service.md). A snapshot is a *true copy*: after extraction it
+/// shares no mutable structure with the source theory, so the writer can
+/// keep mutating while any number of readers hold the snapshot, and two
+/// snapshots taken at the same epoch compare equal.
+///
+/// `Theory(const TheorySnapshot&)` restores a frozen replica — same deps,
+/// FD projection, stable ids, attribute refcounts, epoch, and id counter —
+/// which is what lets prover memo entries (whose support certificates name
+/// constraint ids) transfer between a live catalog and its snapshots.
+struct TheorySnapshot {
+  uint64_t epoch = 0;
+  DependencySet deps;
+  fd::FdSet fd_projection;
+  std::vector<ConstraintId> ids;
+  AttributeSet attributes;
+  /// The id the source theory would mint next; restored replicas continue
+  /// the same never-reused id sequence.
+  ConstraintId next_id = 0;
+
+  friend bool operator==(const TheorySnapshot& a, const TheorySnapshot& b) {
+    return a.epoch == b.epoch && a.deps.ods() == b.deps.ods() &&
+           a.fd_projection == b.fd_projection && a.ids == b.ids &&
+           a.attributes == b.attributes && a.next_id == b.next_id;
+  }
+  friend bool operator!=(const TheorySnapshot& a, const TheorySnapshot& b) {
+    return !(a == b);
+  }
+};
+
 /// A versioned, mutable catalog of prescribed order dependencies ℳ — the
 /// object the paper's reasoning problems are parameterized by, lifted from
 /// a frozen constructor argument to a first-class entity with a lifetime.
@@ -55,16 +88,37 @@ struct ChangeEvent {
 /// and `ids()[i]` all describe the same constraint, for every i. Removal
 /// erases position i from all three, preserving the order of the rest.
 ///
-/// Thread safety: `Theory` is externally synchronized. Mutations (`Add`,
-/// `Remove`, `Subscribe`, `Unsubscribe`) must not race with each other or
-/// with any reader — including concurrent prover queries, which read the
-/// theory through the accessors below. The intended deployment mutates the
-/// catalog between query batches (see docs/theory.md).
+/// Thread safety: Theory has a single-writer / snapshot-reader design
+/// (docs/theory.md spells out the accessor table).
+///
+///   * Mutations (`Add`, `Remove`) are writer-thread only: they must not
+///     race with each other or with direct catalog readers — including
+///     queries on attached provers, whose listener sweep walks every memo
+///     shard. `Snapshot()` is also writer-side (it maintains a cache).
+///   * `Subscribe`/`Unsubscribe` are internally synchronized against each
+///     other, so concurrent *readers* of a frozen (never again mutated)
+///     theory may attach and detach provers freely — the pattern the
+///     service's pinned epoch replicas rely on. They still must not race
+///     with mutations, and listeners must not subscribe or mutate
+///     re-entrantly from inside a notification.
+///   * A frozen theory (one that no thread will mutate again) is safe for
+///     unlimited concurrent reads through every const accessor.
+///
+/// Readers that must overlap with a live writer go through
+/// `TheorySnapshot` instead of the accessors: the writer extracts and
+/// publishes snapshots (cheap shared_ptr hand-off), readers pin one and
+/// never touch the mutating object — see od::service::Server.
 class Theory {
  public:
   Theory() = default;
   /// Seeds the catalog with every OD in `m` (epoch advances once per OD).
   explicit Theory(const DependencySet& m);
+  /// Restores a frozen replica of the snapshotted state: identical deps,
+  /// FD projection, stable ids, attributes, epoch, and next-id counter (no
+  /// listeners — subscriptions never transfer). Mutating the replica is
+  /// legal and continues the source's epoch/id sequence, but the intended
+  /// use is a read-only stand-in pinned at the snapshot's version.
+  explicit Theory(const TheorySnapshot& snapshot);
 
   /// A theory has identity — stable ids, an epoch history, and listeners
   /// holding pointers back to their subscribers — so copying one would
@@ -115,9 +169,19 @@ class Theory {
   /// shrinks when the last constraint naming an attribute is removed).
   const AttributeSet& attributes() const { return attributes_; }
 
+  /// Extracts the current state as an immutable snapshot (see
+  /// TheorySnapshot). The snapshot is cached per epoch: repeated calls
+  /// without an intervening mutation return the same shared_ptr, so the
+  /// copy is paid once per version no matter how many readers pin it.
+  /// Writer-thread only (the cache is unsynchronized mutable state); the
+  /// *returned* snapshot is immutable and safe to share with any thread.
+  std::shared_ptr<const TheorySnapshot> Snapshot() const;
+
   /// Change subscription. Listeners run synchronously inside Add/Remove,
   /// in subscription order, after the theory state is updated; they must
-  /// not mutate the theory re-entrantly. Returns a token for Unsubscribe.
+  /// not mutate the theory — or subscribe/unsubscribe — re-entrantly.
+  /// Subscribe/Unsubscribe are safe against each other from any thread
+  /// (but not against mutations). Returns a token for Unsubscribe.
   using Listener = std::function<void(const ChangeEvent&)>;
   using ListenerToken = int64_t;
   ListenerToken Subscribe(Listener listener);
@@ -134,8 +198,14 @@ class Theory {
   std::array<int32_t, kMaxAttributes> attr_refs_{};
   uint64_t epoch_ = 0;
   ConstraintId next_id_ = 0;
+  /// Guards listeners_/next_token_ so concurrent Subscribe/Unsubscribe on
+  /// a frozen theory are safe (provers attach from any reader thread).
+  /// Held across Notify, which is why listeners must not re-enter.
+  mutable std::mutex listeners_mu_;
   std::vector<std::pair<ListenerToken, Listener>> listeners_;
   ListenerToken next_token_ = 0;
+  /// Lazily extracted snapshot of the current epoch (writer-side cache).
+  mutable std::shared_ptr<const TheorySnapshot> snapshot_cache_;
 };
 
 }  // namespace theory

@@ -85,10 +85,11 @@ opt::LogicalQuery ToLogicalQuery(const opt::DateRangeQuery& q,
   lq.name = q.name;
   lq.tables.push_back(
       opt::TableRef{"store_sales", fact, fact_sk_index, fact_parts,
-                    /*ods=*/nullptr, /*natural_order_col=*/-1});
+                    /*ods=*/nullptr, /*prover=*/nullptr,
+                    /*natural_order_col=*/-1});
   lq.tables.push_back(opt::TableRef{"date_dim", dim, /*index=*/nullptr,
                                     /*partitions=*/nullptr,
-                                    std::move(dim_ods),
+                                    std::move(dim_ods), /*prover=*/nullptr,
                                     /*natural_order_col=*/d.d_date});
   lq.joins.push_back(opt::JoinClause{1, q.fact_date_sk, q.dim_date_sk});
   lq.filters = {{}, q.dim_predicates};
@@ -129,7 +130,7 @@ opt::LogicalQuery TaxOrderByQuery(const engine::Table* taxes,
   lq.name = "tax_order_by_bracket_tax";
   lq.tables.push_back(opt::TableRef{"taxes", taxes, income_index,
                                     /*partitions=*/nullptr,
-                                    std::move(tax_ods),
+                                    std::move(tax_ods), /*prover=*/nullptr,
                                     /*natural_order_col=*/-1});
   lq.order_by = {t.bracket, t.tax};
   return lq;

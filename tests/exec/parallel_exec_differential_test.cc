@@ -363,7 +363,8 @@ LogicalQuery RandomBase(const std::string& name, const Table* t,
   LogicalQuery q;
   q.name = name;
   q.tables.push_back(TableRef{"rand", t, index, /*partitions=*/nullptr,
-                              /*ods=*/nullptr, /*natural_order_col=*/-1});
+                              /*ods=*/nullptr, /*prover=*/nullptr,
+                              /*natural_order_col=*/-1});
   q.filters.resize(1);
   return q;
 }

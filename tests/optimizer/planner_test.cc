@@ -244,9 +244,9 @@ TEST_F(DatePlannerTest, KeptJoinPrefersMergeWhenOrderIsProvided) {
   LogicalQuery q;
   q.name = "all_days_daily";
   q.tables.push_back(TableRef{"store_sales", &fact_, index_.get(), nullptr,
-                              nullptr, -1});
-  q.tables.push_back(
-      TableRef{"date_dim", &dim_, nullptr, nullptr, dim_ods_, d.d_date});
+                              nullptr, nullptr, -1});
+  q.tables.push_back(TableRef{"date_dim", &dim_, nullptr, nullptr, dim_ods_,
+                              nullptr, d.d_date});
   q.joins.push_back(JoinClause{1, f.ss_sold_date_sk, d.d_date_sk});
   q.group_cols = {f.ss_sold_date_sk};
   q.aggs = {{AggSpec::Kind::kSum, f.ss_net_paid, "sum_net"}};
