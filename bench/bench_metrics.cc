@@ -18,6 +18,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -25,6 +26,7 @@
 #include "engine/index.h"
 #include "engine/partition.h"
 #include "optimizer/planner.h"
+#include "service/service.h"
 #include "theory/theory.h"
 #include "warehouse/date_dim.h"
 #include "warehouse/queries.h"
@@ -97,6 +99,37 @@ void BM_SnapshotPrometheus(benchmark::State& state) {
   }
 }
 
+void BM_SubmitContextRestore(benchmark::State& state) {
+  // What trace-context propagation adds to every pool hop: Submit captures
+  // the caller's 16-byte context, Execute installs it around the task.
+  // Compare against the OD_TRACE=OFF build (where the restore is a no-op)
+  // to isolate the propagation cost from the base Submit/Wait machinery.
+  common::ThreadPool pool(2);
+  common::TaskGroup group(&pool);
+  for (auto _ : state) {
+    group.Submit([] {});
+    group.Wait();
+  }
+}
+
+void BM_QueryProfileAssembly(benchmark::State& state) {
+  // A full profiled request on the cheapest profiled path: ProveAll of one
+  // already-memoized dependency. Measures the RequestProfiler envelope —
+  // context install, root span, clock reads, prover deltas, histogram
+  // record, slow classification, and the flight-recorder push.
+  service::Server server;
+  server.CreateTenant("bench_profile");
+  AttributeList lhs = AttributeList().Append(0);
+  AttributeList rhs = AttributeList().Append(1);
+  server.Add("bench_profile", OrderDependency(lhs, rhs));
+  service::Session session = server.OpenSession("bench_profile");
+  const std::vector<OrderDependency> batch = {OrderDependency(lhs, rhs)};
+  (void)session.ProveAll(batch);  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.ProveAll(batch));
+  }
+}
+
 BENCHMARK(BM_CounterAdd);
 BENCHMARK(BM_CounterAddContended)->Threads(8);
 BENCHMARK(BM_HistogramRecord);
@@ -104,10 +137,15 @@ BENCHMARK(BM_SpanRuntimeDisabled);
 BENCHMARK(BM_SpanEnabled);
 BENCHMARK(BM_SnapshotJson);
 BENCHMARK(BM_SnapshotPrometheus);
+BENCHMARK(BM_SubmitContextRestore);
+BENCHMARK(BM_QueryProfileAssembly);
 
-/// Executes the daily-sales query at dop 4 with tracing enabled and writes
-/// the Chrome trace to `path`. The trace shows the planner span, one
-/// exchange.fragment span per worker lane, and any spill spans.
+/// Executes the daily-sales query at dop 4 — as a real request through a
+/// service Session, so planning and execution share one request-scoped
+/// trace context — and writes the Chrome trace to `path`. The trace shows
+/// the service.plan/service.execute root spans, the planner span, one
+/// exchange.fragment span per worker lane (all carrying the request's
+/// trace id), and any spill spans.
 void WriteSampleTrace(const std::string& path) {
   using namespace od::opt;
   engine::Table dim = warehouse::GenerateDateDim(1998, 4);
@@ -116,11 +154,18 @@ void WriteSampleTrace(const std::string& path) {
       /*num_items=*/50, /*num_stores=*/10, /*seed=*/42);
   engine::OrderedIndex index(&fact, engine::SortSpec{0});
   auto parts = engine::PartitionedTable::PartitionByRange(fact, 0, 16);
-  auto ods = std::make_shared<theory::Theory>(warehouse::DateDimOds());
-  LogicalQuery q =
-      warehouse::DailySalesQuery(&fact, &dim, &index, &parts, ods, 1999);
 
   common::ThreadPool pool(4);
+  service::ServerOptions sopts;
+  sopts.pool = &pool;
+  service::Server server(sopts);
+  server.CreateTenant("trace_demo", warehouse::DateDimOds());
+  service::Session session = server.OpenSession("trace_demo");
+
+  // Null dim ODs: the session binds the dimension table to its pinned
+  // catalog, so elision proofs run against the tenant's epoch memo.
+  LogicalQuery q = warehouse::DailySalesQuery(&fact, &dim, &index, &parts,
+                                              /*dim_ods=*/nullptr, 1999);
   CostModel cm;
   cm.fragment_startup = 0.0;
   PlanOptions opts;
@@ -130,15 +175,16 @@ void WriteSampleTrace(const std::string& path) {
   common::Tracer& tracer = common::Tracer::Global();
   tracer.Clear();
   tracer.Enable();
-  PhysicalPlan plan = PlanQuery(q, cm, opts);
+  PhysicalPlan plan = session.Plan(q, cm, opts);
   ExecStats stats;
-  plan.Execute(&stats);
+  session.Execute(plan, &stats);
   tracer.Disable();
 
   std::ofstream out(path);
   out << tracer.ExportChromeTrace();
   tracer.Clear();
-  std::printf("wrote Chrome trace to %s (%s)\n", path.c_str(),
+  std::printf("wrote Chrome trace to %s (trace_id=%llu, %s)\n", path.c_str(),
+              static_cast<unsigned long long>(plan.trace_context().trace_id),
               stats.ToString().c_str());
 }
 

@@ -75,9 +75,61 @@ double Histogram::BucketUpperBound(int i) {
   return std::ldexp(1.0, i);  // 2^i
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot h;
+  h.sum = Sum();
+  int highest = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (BucketCount(i) > 0) highest = i;
+  }
+  int64_t cumulative = 0;
+  for (int i = 0; i <= highest; ++i) {
+    cumulative += BucketCount(i);
+    h.buckets.emplace_back(BucketUpperBound(i), cumulative);
+  }
+  // The +Inf bucket always closes the list (Prometheus requires it).
+  if (highest < kBuckets - 1) {
+    cumulative += BucketCount(kBuckets - 1);
+    h.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                           cumulative);
+  }
+  h.count = cumulative;
+  return h;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  // The highest finite bound caps what the +Inf bucket can report — the
+  // data gives no information past it.
+  double highest_finite = 0.0;
+  for (const auto& [le, cumulative] : buckets) {
+    if (!std::isinf(le)) highest_finite = le;
+  }
+  double prev_le = 0.0;
+  int64_t prev_cumulative = 0;
+  for (const auto& [le, cumulative] : buckets) {
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      if (std::isinf(le)) return highest_finite;
+      const int64_t in_bucket = cumulative - prev_cumulative;
+      if (in_bucket <= 0) return le;  // unreachable; belt and braces
+      // Linear interpolation inside (prev_le, le] by rank.
+      const double frac =
+          (target - static_cast<double>(prev_cumulative)) /
+          static_cast<double>(in_bucket);
+      return prev_le + (le - prev_le) * (frac < 0.0 ? 0.0 : frac);
+    }
+    prev_le = le;
+    prev_cumulative = cumulative;
+  }
+  return highest_finite;
 }
 
 // ---------------------------------------------------------------------------
@@ -155,28 +207,9 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
       case Entry::Kind::kGauge:
         snap.gauges[key] = e.gauge->Value();
         break;
-      case Entry::Kind::kHistogram: {
-        HistogramSnapshot h;
-        h.sum = e.histogram->Sum();
-        int highest = 0;
-        for (int i = 0; i < Histogram::kBuckets; ++i) {
-          if (e.histogram->BucketCount(i) > 0) highest = i;
-        }
-        int64_t cumulative = 0;
-        for (int i = 0; i <= highest; ++i) {
-          cumulative += e.histogram->BucketCount(i);
-          h.buckets.emplace_back(Histogram::BucketUpperBound(i), cumulative);
-        }
-        // The +Inf bucket always closes the list (Prometheus requires it).
-        if (highest < Histogram::kBuckets - 1) {
-          cumulative += e.histogram->BucketCount(Histogram::kBuckets - 1);
-          h.buckets.emplace_back(std::numeric_limits<double>::infinity(),
-                                 cumulative);
-        }
-        h.count = cumulative;
-        snap.histograms[key] = std::move(h);
+      case Entry::Kind::kHistogram:
+        snap.histograms[key] = e.histogram->Snapshot();
         break;
-      }
     }
   }
   return snap;

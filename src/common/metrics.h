@@ -97,6 +97,8 @@ class Gauge {
   std::atomic<int64_t> v_{0};
 };
 
+struct HistogramSnapshot;
+
 /// A histogram with fixed log-scale (power-of-two) buckets: bucket i
 /// counts observations v with v <= 2^i (non-cumulatively: the smallest
 /// such i), for i in [0, kBuckets-2]; the last bucket is +Inf overflow.
@@ -118,6 +120,12 @@ class Histogram {
   /// reported as infinity()).
   static double BucketUpperBound(int i);
 
+  /// Point-in-time export of this one histogram (the same shape
+  /// MetricRegistry::Snapshot embeds) — the cheap way to compute a
+  /// quantile of a single live histogram without scraping the whole
+  /// registry.
+  HistogramSnapshot Snapshot() const;
+
   void Reset();
 
  private:
@@ -133,6 +141,15 @@ struct HistogramSnapshot {
   int64_t count = 0;
   int64_t sum = 0;
   std::vector<std::pair<double, int64_t>> buckets;  // (le, cumulative)
+
+  /// The value at quantile `q` ∈ [0, 1] (q clamped), interpolated
+  /// linearly inside the winning log₂ bucket — the standard Prometheus
+  /// `histogram_quantile` estimate over `le` buckets. Bucket i spans
+  /// (2^(i-1), 2^i] (bucket 0 spans [0, 1]), so the estimate's relative
+  /// error is bounded by the bucket width. Rank q·count falling in the
+  /// +Inf overflow bucket clamps to the highest finite bound; an empty
+  /// snapshot returns 0.
+  double ValueAtQuantile(double q) const;
 
   bool operator==(const HistogramSnapshot& o) const {
     return count == o.count && sum == o.sum && buckets == o.buckets;

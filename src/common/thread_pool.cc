@@ -145,6 +145,10 @@ void ThreadPool::Execute(Task t) {
   if (!group->cancelled()) {
     const auto start = std::chrono::steady_clock::now();
     {
+      // The task runs under its *submitter's* request context — restored
+      // here precisely because the executing thread may be a thief or a
+      // helping waiter mid-request of its own.
+      TraceContextScope ctx(t.ctx);
       OD_TRACE_SPAN("thread_pool.task");
       try {
         t.fn();
@@ -231,7 +235,8 @@ void TaskGroup::Submit(std::function<void()> fn) {
     return;
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_->Submit(ThreadPool::Task{std::move(fn), this});
+  pool_->Submit(
+      ThreadPool::Task{std::move(fn), this, Tracer::CurrentContext()});
 }
 
 void TaskGroup::OnTaskDone() {

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
+
 namespace od {
 namespace common {
 
@@ -79,6 +81,12 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;  // completion + error sink; never null
+    /// The submitter's request context, captured at Submit and restored
+    /// around fn — so spans from stolen tasks, helping waiters, and
+    /// parked/resumed producers parent under the originating request, not
+    /// under whatever the executing thread happened to be doing. The
+    /// restore is a no-op under -DOD_TRACE=OFF.
+    TraceContext ctx;
   };
 
   /// Index 0 is the injection queue (external submitters); worker i owns

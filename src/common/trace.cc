@@ -3,6 +3,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace od {
 namespace common {
 
@@ -42,6 +44,20 @@ RingBuffer& ThreadRing() {
 
 thread_local uint32_t span_depth = 0;
 
+/// The request scope of the calling thread. Swapped by TraceContextScope,
+/// TraceSpan, and the scheduler's per-task restore; read on every span
+/// open.
+thread_local TraceContext current_context;
+
+/// Ring overflow, scrapeable: nonzero rate means the trace window is
+/// shorter than the span volume and exports are losing the oldest spans.
+Counter& DroppedSpansCounter() {
+  static Counter& c = MetricRegistry::Global().GetCounter(
+      "od_trace_dropped_spans_total",
+      "Spans overwritten in a per-thread ring before export");
+  return c;
+}
+
 void AppendJsonString(const char* s, std::string* out) {
   out->push_back('"');
   for (; *s != '\0'; ++s) {
@@ -53,22 +69,47 @@ void AppendJsonString(const char* s, std::string* out) {
 
 }  // namespace
 
+TraceContext TraceContext::NewRequest() {
+  return TraceContext{Tracer::NewTraceId(), 0};
+}
+
 Tracer& Tracer::Global() {
   static Tracer* tracer = new Tracer();
   return *tracer;
 }
 
+TraceContext Tracer::CurrentContext() { return current_context; }
+
+void Tracer::SetCurrentContext(TraceContext ctx) { current_context = ctx; }
+
+uint64_t Tracer::NewTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NewSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Tracer::Record(const char* name, int64_t start_us, int64_t dur_us,
-                    uint32_t depth) {
+                    uint32_t depth, uint64_t trace_id, uint64_t span_id,
+                    uint64_t parent_id) {
   RingBuffer& ring = ThreadRing();
   std::lock_guard<std::mutex> lock(ring.mu);
   Event& e = ring.events[ring.next % kRingSize];
-  if (ring.next >= kRingSize) ++ring.dropped;
+  if (ring.next >= kRingSize) {
+    ++ring.dropped;
+    DroppedSpansCounter().Add(1);
+  }
   e.name = name;
   e.start_us = start_us;
   e.dur_us = dur_us;
   e.tid = ring.tid;
   e.depth = depth;
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_id = parent_id;
   ++ring.next;
 }
 
@@ -114,11 +155,38 @@ std::string Tracer::ExportChromeTrace() const {
              std::to_string(e.start_us) +
              ",\"dur\":" + std::to_string(e.dur_us) +
              ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
-             ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+             ",\"args\":{\"depth\":" + std::to_string(e.depth) +
+             ",\"trace_id\":" + std::to_string(e.trace_id) +
+             ",\"span_id\":" + std::to_string(e.span_id) +
+             ",\"parent_id\":" + std::to_string(e.parent_id) + "}}";
     }
   }
   out += "\n]}\n";
   return out;
+}
+
+void TraceSpan::Open(const char* name) {
+  name_ = name;
+  prev_ = Tracer::CurrentContext();
+  span_id_ = Tracer::NewSpanId();
+  Tracer::SetCurrentContext(TraceContext{prev_.trace_id, span_id_});
+  depth_ = Tracer::CurrentDepthAndPush();
+  start_ = std::chrono::steady_clock::now();
+}
+
+void TraceSpan::Close() {
+  const auto end = std::chrono::steady_clock::now();
+  const int64_t start_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          start_.time_since_epoch())
+          .count();
+  const int64_t dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  Tracer::PopDepth();
+  Tracer::SetCurrentContext(prev_);
+  Tracer::Global().Record(name_, start_us, dur_us, depth_, prev_.trace_id,
+                          span_id_, prev_.span_id);
 }
 
 }  // namespace common

@@ -1426,6 +1426,15 @@ exec::OpPtr PhysicalPlan::Compile(ExecStats* stats) const {
 }
 
 engine::Table PhysicalPlan::Execute(ExecStats* stats) const {
+  // Re-enter the planning request's trace when executed from outside it
+  // (deferred execution); leave the ambient context alone when we are
+  // already inside that trace — e.g. under Session::Execute's root span —
+  // so spans keep parenting under the innermost open span.
+  const common::TraceContext ambient = common::Tracer::CurrentContext();
+  const bool adopt = trace_context_.trace_id != 0 &&
+                     ambient.trace_id != trace_context_.trace_id;
+  common::TraceContextScope scope(adopt ? trace_context_ : ambient);
+  OD_TRACE_SPAN("plan.execute");
   exec::OpPtr op = Compile(stats);
   engine::Table out = exec::Drain(op.get(), stats);
   if (stats != nullptr) {

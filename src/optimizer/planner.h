@@ -212,6 +212,14 @@ class PhysicalPlan {
   engine::Table Execute(ExecStats* stats) const;
   std::string Explain() const;
 
+  /// The request the plan was built under (service::Session::Plan stamps
+  /// this with its root span's context). Execute re-enters it when run
+  /// from a thread that is not already inside the same trace, so deferred
+  /// executions — plan now, run later, possibly elsewhere — still parent
+  /// their exchange/spill spans under the originating request.
+  const common::TraceContext& trace_context() const { return trace_context_; }
+  void set_trace_context(common::TraceContext ctx) { trace_context_ = ctx; }
+
   /// EXPLAIN ANALYZE: the Explain tree annotated per node with actual
   /// wall-clock, actual rows, the estimated-vs-actual row error, and the
   /// cost-model share error (the node's share of total runtime divided by
@@ -233,6 +241,7 @@ class PhysicalPlan {
   std::unique_ptr<PhysicalNode> root_;
   std::vector<TableRef> tables_;  // pointers the compiled operators read
   PlanOptions options_;
+  common::TraceContext trace_context_;  // {0,0} outside a traced request
   int sorts_elided_ = 0;
   int joins_elided_ = 0;
   std::vector<std::string> proofs_;

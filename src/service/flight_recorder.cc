@@ -1,0 +1,84 @@
+#include "service/flight_recorder.h"
+
+#include <utility>
+
+namespace od {
+namespace service {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+void FlightRecorder::Ring::Push(size_t capacity, QueryProfile p) {
+  if (slots.size() < capacity) {
+    slots.push_back(std::move(p));
+  } else {
+    slots[next % capacity] = std::move(p);
+  }
+  ++next;
+}
+
+std::vector<QueryProfile> FlightRecorder::Ring::TailLocked(size_t n) const {
+  const int64_t size = static_cast<int64_t>(slots.size());
+  const int64_t take =
+      static_cast<int64_t>(n) < size ? static_cast<int64_t>(n) : size;
+  std::vector<QueryProfile> out;
+  out.reserve(take);
+  for (int64_t i = next - take; i < next; ++i) {
+    out.push_back(slots[i % size]);
+  }
+  return out;
+}
+
+void FlightRecorder::Record(QueryProfile p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (p.slow) slow_.Push(capacity_, p);
+  all_.Push(capacity_, std::move(p));
+}
+
+std::vector<QueryProfile> FlightRecorder::Tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.TailLocked(n);
+}
+
+std::vector<QueryProfile> FlightRecorder::SlowTail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.TailLocked(n);
+}
+
+int64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_.next;
+}
+
+int64_t FlightRecorder::slow_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.next;
+}
+
+std::string FlightRecorder::DumpJson(size_t n) const {
+  std::vector<QueryProfile> all, slow;
+  int64_t recorded, slow_recorded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all = all_.TailLocked(n);
+    slow = slow_.TailLocked(n);
+    recorded = all_.next;
+    slow_recorded = slow_.next;
+  }
+  std::string out = "{\"profiles\":[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += ",";
+    out += all[i].ToJson();
+  }
+  out += "],\"slow\":[";
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) out += ",";
+    out += slow[i].ToJson();
+  }
+  out += "],\"recorded\":" + std::to_string(recorded) +
+         ",\"slow_recorded\":" + std::to_string(slow_recorded) + "}";
+  return out;
+}
+
+}  // namespace service
+}  // namespace od

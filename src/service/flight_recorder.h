@@ -1,0 +1,62 @@
+#ifndef OD_SERVICE_FLIGHT_RECORDER_H_
+#define OD_SERVICE_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/query_profile.h"
+
+namespace od {
+namespace service {
+
+/// A per-tenant ring of the last N QueryProfiles plus a separate ring of
+/// the last N slow ones (the slow ring survives a burst of fast requests
+/// that would otherwise rotate an interesting outlier out of the main
+/// ring). Recording is one short mutex hold for a small-struct move — no
+/// allocation once the rings are at capacity beyond the profile's own
+/// strings — cheap enough for every profiled request but deliberately NOT
+/// on the Implies fast path (memo hits skip profiling entirely; see
+/// Session::Implies).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 128);
+
+  /// `p.slow` must already be classified (TenantState does this against
+  /// the live latency-histogram quantile).
+  void Record(QueryProfile p);
+
+  /// The most recent min(n, size) profiles, oldest first.
+  std::vector<QueryProfile> Tail(size_t n) const;
+  /// The most recent min(n, size) slow profiles, oldest first.
+  std::vector<QueryProfile> SlowTail(size_t n) const;
+
+  /// Total profiles ever recorded (monotonic; exceeds capacity once the
+  /// ring has wrapped).
+  int64_t total_recorded() const;
+  int64_t slow_recorded() const;
+
+  /// `{"profiles":[...],"slow":[...],"recorded":N,"slow_recorded":M}` over
+  /// the two tails.
+  std::string DumpJson(size_t n) const;
+
+ private:
+  struct Ring {
+    std::vector<QueryProfile> slots;
+    int64_t next = 0;  ///< total pushes; next % capacity is the write slot
+
+    void Push(size_t capacity, QueryProfile p);
+    std::vector<QueryProfile> TailLocked(size_t n) const;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  Ring all_;
+  Ring slow_;
+};
+
+}  // namespace service
+}  // namespace od
+
+#endif  // OD_SERVICE_FLIGHT_RECORDER_H_

@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "service/flight_recorder.h"
 
 namespace od {
 namespace service {
@@ -26,9 +27,12 @@ struct TenantMetrics {
   common::Counter& publishes;
   common::Counter& memo_seeded;
   common::Counter& plans;
+  common::Counter& slow_queries;
   common::Gauge& published_epoch;
+  common::Gauge& pinned_sessions;
   common::Histogram& batch_size;
   common::Histogram& publish_us;
+  common::Histogram& request_us;
 
   explicit TenantMetrics(const std::string& tenant)
       : TenantMetrics(common::MetricRegistry::Global(),
@@ -67,10 +71,17 @@ struct TenantMetrics {
                              "Physical plans built against pinned "
                              "snapshots",
                              label)),
+        slow_queries(reg.GetCounter(
+            "od_service_slow_queries_total",
+            "Profiled requests at/above the tenant's slow-query threshold",
+            label)),
         published_epoch(reg.GetGauge("od_service_published_epoch",
                                      "Latest catalog epoch published for "
                                      "this tenant",
                                      label)),
+        pinned_sessions(reg.GetGauge(
+            "od_service_pinned_sessions",
+            "Live Session objects currently pinning an epoch", label)),
         batch_size(reg.GetHistogram("od_service_batch_size",
                                     "Queries per coalesced ProveAll sweep",
                                     label)),
@@ -78,6 +89,11 @@ struct TenantMetrics {
             "od_service_publish_us",
             "Writer-path publication cost (snapshot + freeze + memo seed), "
             "microseconds",
+            label)),
+        request_us(reg.GetHistogram(
+            "od_service_request_us",
+            "Wall time of profiled requests (Implies misses, ProveAll, "
+            "Plan, Execute, Apply; memo fast-path hits excluded)",
             label)) {}
 };
 
@@ -197,6 +213,11 @@ struct TenantState {
   /// The server's scheduler (may be null: serial sweeps).
   common::ThreadPool* pool = nullptr;
 
+  /// Last-N profiled requests (and the slow subset) for this tenant.
+  FlightRecorder recorder;
+  const int64_t slow_floor_us;
+  const double slow_quantile;
+
   /// Serializes the writer path (mutations + publication).
   std::mutex writer_mu;
   /// The writer's private mutable catalog. Only the writer path touches
@@ -211,13 +232,117 @@ struct TenantState {
   mutable std::mutex publish_mu;
   std::shared_ptr<const EpochState> published;
 
-  explicit TenantState(std::string tenant_name)
-      : name(std::move(tenant_name)), metrics(name) {}
+  TenantState(std::string tenant_name, const ServerOptions& options)
+      : name(std::move(tenant_name)),
+        metrics(name),
+        recorder(static_cast<size_t>(
+            options.flight_recorder_capacity < 1
+                ? 1
+                : options.flight_recorder_capacity)),
+        slow_floor_us(options.slow_query_floor_us),
+        slow_quantile(options.slow_query_quantile) {}
 
   std::shared_ptr<const EpochState> Published() const {
     std::lock_guard<std::mutex> lock(publish_mu);
     return published;
   }
+
+  /// max(floor, request-latency quantile) — the quantile joins once 32
+  /// requests exist, so a cold tenant classifies against the floor alone.
+  int64_t SlowThresholdUs() const {
+    int64_t threshold = slow_floor_us;
+    const common::HistogramSnapshot snap = metrics.request_us.Snapshot();
+    if (snap.count >= 32) {
+      const auto q =
+          static_cast<int64_t>(snap.ValueAtQuantile(slow_quantile));
+      if (q > threshold) threshold = q;
+    }
+    return threshold;
+  }
+
+  /// Feeds the latency histogram, classifies against the threshold the
+  /// *previous* requests established (this one is recorded first, so the
+  /// very first request of a floor-0 tenant already classifies slow), and
+  /// pushes into the flight recorder.
+  void RecordProfile(QueryProfile p) {
+    metrics.request_us.Record(p.wall_us);
+    p.slow = p.wall_us >= SlowThresholdUs();
+    if (p.slow) metrics.slow_queries.Add();
+    recorder.Record(std::move(p));
+  }
+};
+
+/// The request scope every profiled service entry point opens: installs a
+/// TraceContext (a fresh one unless the caller is already inside a trace
+/// or hands one to adopt), opens the root span, captures before-counters
+/// from the request's prover, and on destruction assembles the
+/// QueryProfile from the *deltas* and hands it to the tenant. Prover
+/// deltas are per-instance, not global — but the epoch prover is shared
+/// by design (that sharing IS the global memo), so under concurrency a
+/// profile may attribute a neighbor's searches to itself; approximate by
+/// construction, never off by a global-counter reset.
+class RequestProfiler {
+ public:
+  RequestProfiler(TenantState* tenant, const prover::Prover* prover,
+                  uint64_t epoch, QueryProfile::Kind kind,
+                  const char* span_name,
+                  common::TraceContext adopt = common::TraceContext())
+      : tenant_(tenant),
+        prover_(prover),
+        ctx_(ChooseContext(adopt)),
+        root_(span_name),
+        start_(std::chrono::steady_clock::now()) {
+    profile_.kind = kind;
+    profile_.tenant = tenant->name;
+    profile_.epoch = epoch;
+    profile_.trace_id = root_.context().trace_id;
+    profile_.start_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start_.time_since_epoch())
+            .count();
+    if (prover_ != nullptr) {
+      searches_before_ = prover_->searches_executed();
+      hits_before_ = prover_->cache_hits();
+    }
+  }
+
+  ~RequestProfiler() {
+    profile_.wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (prover_ != nullptr) {
+      profile_.prover_searches =
+          prover_->searches_executed() - searches_before_;
+      profile_.prover_cache_hits = prover_->cache_hits() - hits_before_;
+    }
+    tenant_->RecordProfile(std::move(profile_));
+  }
+
+  RequestProfiler(const RequestProfiler&) = delete;
+  RequestProfiler& operator=(const RequestProfiler&) = delete;
+
+  QueryProfile& profile() { return profile_; }
+  /// The root span's context — what children of this request parent
+  /// under; stamp it on artifacts (plans) that outlive the request.
+  common::TraceContext context() const { return root_.context(); }
+
+ private:
+  static common::TraceContext ChooseContext(common::TraceContext adopt) {
+    if (adopt.trace_id != 0) return adopt;
+    const common::TraceContext ambient = common::Tracer::CurrentContext();
+    return ambient.trace_id != 0 ? ambient
+                                 : common::TraceContext::NewRequest();
+  }
+
+  TenantState* tenant_;
+  const prover::Prover* prover_;
+  common::TraceContextScope ctx_;
+  common::TraceSpan root_;
+  std::chrono::steady_clock::time_point start_;
+  int64_t searches_before_ = 0;
+  int64_t hits_before_ = 0;
+  QueryProfile profile_;
 };
 
 }  // namespace internal
@@ -260,6 +385,37 @@ std::shared_ptr<const internal::EpochState> PublishLocked(
 // ---------------------------------------------------------------------------
 // Session
 
+Session::Session(internal::TenantState* tenant,
+                 std::shared_ptr<const internal::EpochState> state)
+    : tenant_(tenant), state_(std::move(state)) {
+  tenant_->metrics.pinned_sessions.Add(1);
+}
+
+Session::Session(Session&& other) noexcept
+    : tenant_(other.tenant_), state_(std::move(other.state_)) {
+  other.tenant_ = nullptr;  // the pin travels; no gauge change
+}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    Release();
+    tenant_ = other.tenant_;
+    state_ = std::move(other.state_);
+    other.tenant_ = nullptr;
+  }
+  return *this;
+}
+
+Session::~Session() { Release(); }
+
+void Session::Release() {
+  if (tenant_ != nullptr) {
+    tenant_->metrics.pinned_sessions.Add(-1);
+    tenant_ = nullptr;
+  }
+  state_.reset();
+}
+
 const std::string& Session::tenant() const { return tenant_->name; }
 
 uint64_t Session::epoch() const { return state_->snapshot->epoch; }
@@ -274,16 +430,28 @@ const std::shared_ptr<theory::Theory>& Session::theory() const {
 
 bool Session::Implies(const OrderDependency& dep) const {
   tenant_->metrics.implies.Add();
+  // The memo fast path is deliberately NOT profiled (no root span, no
+  // flight-recorder push): a hit is one shared-lock probe, and the
+  // read-scaling contract (BM_ServiceReadNoChurn's CI gate) cannot afford
+  // a per-hit mutex on the tenant's recorder ring.
   if (auto hit = state_->prover->CachedImplies(dep)) {
     tenant_->metrics.fastpath_hits.Add();
     return *hit;
   }
+  internal::RequestProfiler prof(tenant_, state_->prover.get(), epoch(),
+                                 QueryProfile::Kind::kImplies,
+                                 "service.implies");
+  prof.profile().detail = dep.ToString();
   return state_->batcher->Implies(dep);
 }
 
 std::vector<bool> Session::ProveAll(
     const std::vector<OrderDependency>& deps) const {
   tenant_->metrics.implies.Add(static_cast<int64_t>(deps.size()));
+  internal::RequestProfiler prof(tenant_, state_->prover.get(), epoch(),
+                                 QueryProfile::Kind::kProveAll,
+                                 "service.prove_all");
+  prof.profile().detail = std::to_string(deps.size()) + " queries";
   // Already a batch: skip the coalescing handshake and fan out directly.
   return state_->prover->ProveAll(deps, tenant_->pool);
 }
@@ -296,8 +464,12 @@ std::optional<Relation> Session::Counterexample(
 opt::PhysicalPlan Session::Plan(opt::LogicalQuery q,
                                 const opt::CostModel& cost,
                                 const opt::PlanOptions& options) const {
-  OD_TRACE_SPAN("service.plan");
   tenant_->metrics.plans.Add();
+  internal::RequestProfiler prof(tenant_, state_->prover.get(), epoch(),
+                                 QueryProfile::Kind::kPlan, "service.plan");
+  prof.profile().detail =
+      std::to_string(q.tables.size()) + " tables, dop " +
+      std::to_string(options.dop);
   for (auto& table : q.tables) {
     if (table.ods == nullptr && table.prover == nullptr) {
       // Bind the pinned catalog AND its shared epoch prover, so the
@@ -306,7 +478,31 @@ opt::PhysicalPlan Session::Plan(opt::LogicalQuery q,
       table.prover = state_->prover;
     }
   }
-  return opt::PlanQuery(q, cost, options);
+  opt::PhysicalPlan plan = opt::PlanQuery(q, cost, options);
+  // The plan remembers the request it was planned under, so a deferred
+  // Execute parents its spans in the same trace (see PhysicalPlan).
+  plan.set_trace_context(prof.context());
+  prof.profile().sorts_elided = plan.sorts_elided();
+  prof.profile().joins_elided = plan.joins_elided();
+  return plan;
+}
+
+engine::Table Session::Execute(const opt::PhysicalPlan& plan,
+                               opt::ExecStats* stats) const {
+  internal::RequestProfiler prof(tenant_, state_->prover.get(), epoch(),
+                                 QueryProfile::Kind::kExecute,
+                                 "service.execute", plan.trace_context());
+  prof.profile().detail = "dop " + std::to_string(plan.options().dop);
+  opt::ExecStats local;
+  engine::Table out = plan.Execute(&local);
+  QueryProfile& p = prof.profile();
+  p.sorts_elided = local.sorts_elided;
+  p.joins_elided = local.joins_elided;
+  p.rows_output = local.rows_output;
+  p.spilled_bytes = local.spilled_bytes;
+  p.exchange_peak_rows = local.exchange_peak_rows;
+  if (stats != nullptr) stats->Merge(local);
+  return out;
 }
 
 void Session::Refresh() { state_ = tenant_->Published(); }
@@ -324,7 +520,7 @@ Server::~Server() = default;
 
 void Server::CreateTenant(const std::string& tenant,
                           const DependencySet& seed) {
-  auto state = std::make_unique<internal::TenantState>(tenant);
+  auto state = std::make_unique<internal::TenantState>(tenant, options_);
   state->pool = options_.pool;
   state->master = std::make_shared<theory::Theory>(seed);
   state->retainer = std::make_unique<prover::Prover>(state->master);
@@ -364,6 +560,13 @@ internal::TenantState& Server::Tenant(const std::string& tenant) const {
 ApplyResult Server::Apply(const std::string& tenant,
                           const std::vector<Mutation>& mutations) {
   internal::TenantState& state = Tenant(tenant);
+  // The retainer is the writer path's prover: its deltas count the memo
+  // sweeps and re-seeding work this sweep caused.
+  internal::RequestProfiler prof(&state, state.retainer.get(),
+                                 /*epoch=*/0, QueryProfile::Kind::kApply,
+                                 "service.apply");
+  prof.profile().detail =
+      std::to_string(mutations.size()) + " mutations";
   std::lock_guard<std::mutex> writer(state.writer_mu);
   // Fold the published epoch memo back into the retainer before mutating:
   // the master has not changed since the last publication, so both provers
@@ -384,6 +587,7 @@ ApplyResult Server::Apply(const std::string& tenant,
   }
   PublishLocked(state, options_, &result.memo_seeded);
   result.epoch = state.master->epoch();
+  prof.profile().epoch = result.epoch;
   return result;
 }
 
@@ -424,7 +628,45 @@ TenantStats Server::Stats(const std::string& tenant) const {
   stats.retainer_memo_size = state.retainer->memo_size();
   stats.retainer_invalidated = state.retainer->entries_invalidated();
   stats.retainer_retained = state.retainer->entries_retained();
+  stats.sessions_opened = state.metrics.sessions_opened.Value();
+  stats.pinned_sessions = state.metrics.pinned_sessions.Value();
+  stats.profiles_recorded = state.recorder.total_recorded();
+  stats.slow_queries = state.recorder.slow_recorded();
+  stats.slow_threshold_us = state.SlowThresholdUs();
+  stats.request_us = state.metrics.request_us.Snapshot();
   return stats;
+}
+
+std::vector<QueryProfile> Server::FlightRecorderTail(
+    const std::string& tenant, size_t n) const {
+  return Tenant(tenant).recorder.Tail(n);
+}
+
+std::vector<QueryProfile> Server::SlowQueryLog(const std::string& tenant,
+                                               size_t n) const {
+  return Tenant(tenant).recorder.SlowTail(n);
+}
+
+int64_t Server::SlowQueryThresholdUs(const std::string& tenant) const {
+  return Tenant(tenant).SlowThresholdUs();
+}
+
+std::string Server::DumpFlightRecorder(size_t n) const {
+  std::string out = "{\"tenants\":{";
+  bool first = true;
+  for (const std::string& name : Tenants()) {
+    if (!first) out += ",";
+    first = false;
+    out.push_back('"');
+    for (char c : name) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += "\":";
+    out += Tenant(name).recorder.DumpJson(n);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace service

@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/dependency.h"
 #include "core/relation.h"
 #include "optimizer/planner.h"
 #include "prover/prover.h"
+#include "service/query_profile.h"
 #include "theory/theory.h"
 
 namespace od {
@@ -60,6 +62,16 @@ struct ServerOptions {
   common::ThreadPool* pool = nullptr;
   /// Upper bound on Implies queries coalesced into one ProveAll sweep.
   int max_batch = 256;
+  /// QueryProfiles each tenant's flight recorder retains (main ring and
+  /// slow ring each).
+  int flight_recorder_capacity = 128;
+  /// Slow-query classification: a request is slow when its wall time
+  /// reaches max(floor, ValueAtQuantile(quantile)) of the tenant's
+  /// request-latency histogram — the quantile needs ≥32 recorded requests
+  /// before it participates, so a cold tenant classifies against the
+  /// floor alone. Tests set the floor to 0 to make every request slow.
+  int64_t slow_query_floor_us = 10000;
+  double slow_query_quantile = 0.99;
 };
 
 /// One writer-path catalog edit.
@@ -109,6 +121,17 @@ struct TenantStats {
   int64_t retainer_memo_size = 0;
   int64_t retainer_invalidated = 0;
   int64_t retainer_retained = 0;
+  /// Session lifecycle: total ever opened, and currently live (pinned)
+  /// Session objects.
+  int64_t sessions_opened = 0;
+  int64_t pinned_sessions = 0;
+  /// Flight-recorder view: profiles recorded, how many classified slow,
+  /// the current slow threshold, and the request-latency distribution
+  /// (for p50/p95/p99 via HistogramSnapshot::ValueAtQuantile).
+  int64_t profiles_recorded = 0;
+  int64_t slow_queries = 0;
+  int64_t slow_threshold_us = 0;
+  common::HistogramSnapshot request_us;
 };
 
 namespace internal {
@@ -126,10 +149,12 @@ class Server;
 /// memo anyway). Sessions must not outlive their Server.
 class Session {
  public:
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&& other) noexcept;
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+  /// Unpins (decrements the tenant's od_service_pinned_sessions gauge).
+  ~Session();
 
   const std::string& tenant() const;
   /// The pinned catalog version. Stable until Refresh().
@@ -163,6 +188,15 @@ class Session {
                          const opt::PlanOptions& options =
                              opt::PlanOptions()) const;
 
+  /// Executes a plan (typically one this session built) under a profiled
+  /// request scope: adopts the plan's trace context — execution spans
+  /// parent under the same trace as the planning request — and records an
+  /// execute-kind QueryProfile (rows, spilled bytes, exchange peak) into
+  /// the tenant's flight recorder. `stats`, when non-null, receives the
+  /// run's ExecStats exactly as PhysicalPlan::Execute would fill them.
+  engine::Table Execute(const opt::PhysicalPlan& plan,
+                        opt::ExecStats* stats = nullptr) const;
+
   /// Re-pins to the tenant's latest published epoch (a pointer swap; any
   /// in-flight answers already returned stay valid for the old epoch).
   void Refresh();
@@ -174,10 +208,11 @@ class Session {
  private:
   friend class Server;
   Session(internal::TenantState* tenant,
-          std::shared_ptr<const internal::EpochState> state)
-      : tenant_(tenant), state_(std::move(state)) {}
+          std::shared_ptr<const internal::EpochState> state);
+  /// Drops the pin (gauge decrement) and nulls tenant_.
+  void Release();
 
-  internal::TenantState* tenant_;
+  internal::TenantState* tenant_;  ///< null only in a moved-from Session
   std::shared_ptr<const internal::EpochState> state_;
 };
 
@@ -229,6 +264,24 @@ class Server {
       const std::string& tenant) const;
 
   TenantStats Stats(const std::string& tenant) const;
+
+  // -- Flight recorder ------------------------------------------------------
+
+  /// The tenant's last min(n, capacity) profiled requests, oldest first.
+  /// Throws std::out_of_range on unknown tenants.
+  std::vector<QueryProfile> FlightRecorderTail(const std::string& tenant,
+                                               size_t n = 32) const;
+  /// The tenant's last min(n, capacity) *slow* requests, oldest first.
+  std::vector<QueryProfile> SlowQueryLog(const std::string& tenant,
+                                         size_t n = 32) const;
+  /// The wall-time bound (µs) at/above which the tenant's next request
+  /// would be classified slow right now — max(slow_query_floor_us, the
+  /// request-latency histogram's slow_query_quantile once ≥32 requests
+  /// have been recorded).
+  int64_t SlowQueryThresholdUs(const std::string& tenant) const;
+  /// JSON export of every tenant's flight recorder:
+  /// `{"tenants":{"<name>":{"profiles":[...],"slow":[...],...}, ...}}`.
+  std::string DumpFlightRecorder(size_t n = 32) const;
 
  private:
   internal::TenantState& Tenant(const std::string& tenant) const;

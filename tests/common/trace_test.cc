@@ -27,6 +27,9 @@ struct Ev {
   int64_t dur = 0;
   uint32_t tid = 0;
   int depth = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
 };
 
 int64_t FieldAfter(const std::string& json, size_t from,
@@ -53,6 +56,12 @@ std::vector<Ev> ParseEvents(const std::string& json) {
     e.dur = FieldAfter(json, name_end, "\"dur\":");
     e.tid = static_cast<uint32_t>(FieldAfter(json, name_end, "\"tid\":"));
     e.depth = static_cast<int>(FieldAfter(json, name_end, "\"depth\":"));
+    e.trace_id = static_cast<uint64_t>(
+        FieldAfter(json, name_end, "\"trace_id\":"));
+    e.span_id = static_cast<uint64_t>(
+        FieldAfter(json, name_end, "\"span_id\":"));
+    e.parent_id = static_cast<uint64_t>(
+        FieldAfter(json, name_end, "\"parent_id\":"));
     events.push_back(e);
     pos = json.find(marker, obj_end);
   }
@@ -189,6 +198,150 @@ TEST_F(TraceTest, EightLanesThroughThreadPool) {
       })) << "lane " << tid;
     }
   }
+}
+
+/// The tentpole contract: a request's TraceContext crosses the pool. A
+/// barrier holds all eight ParallelFor lanes open at once (so seven spans
+/// ran on stolen/submitted tasks, not inline), and each lane also submits
+/// a nested TaskGroup task. Every resulting span must carry the request's
+/// trace id and sit in one well-parented tree under the root span.
+TEST_F(TraceTest, ContextPropagatesAcrossPoolIntoOneTree) {
+  constexpr int kLanes = 8;
+  ThreadPool pool(kLanes);
+  uint64_t root_trace = 0;
+  uint64_t root_span = 0;
+  {
+    TraceContextScope request(TraceContext::NewRequest());
+    TraceSpan root("test.request");
+    root_trace = root.context().trace_id;
+    root_span = root.context().span_id;
+    TaskGroup nested(&pool);
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    pool.ParallelFor(kLanes, [&](int64_t) {
+      OD_TRACE_SPAN("test.work");
+      nested.Submit([] { OD_TRACE_SPAN("test.nested"); });
+      std::unique_lock<std::mutex> lock(mu);
+      if (++arrived == kLanes) {
+        cv.notify_all();
+      } else {
+        cv.wait(lock, [&] { return arrived == kLanes; });
+      }
+    });
+    nested.Wait();
+  }
+  Tracer::Global().Disable();
+  const std::string json = Tracer::Global().ExportChromeTrace();
+  const auto events = ParseEvents(json);
+
+  ASSERT_NE(root_trace, 0u);
+  std::set<uint64_t> ids_in_trace;
+  int work = 0, nested_spans = 0;
+  for (const auto& e : events) {
+    if (e.trace_id == root_trace) ids_in_trace.insert(e.span_id);
+  }
+  for (const auto& e : events) {
+    if (e.name == "test.work") {
+      ++work;
+      EXPECT_EQ(e.trace_id, root_trace) << "work span escaped the trace";
+    }
+    if (e.name == "test.nested") {
+      ++nested_spans;
+      EXPECT_EQ(e.trace_id, root_trace) << "nested span escaped the trace";
+    }
+    if (e.trace_id != root_trace) continue;
+    // Well-parented: every span in the trace either IS the root or hangs
+    // off another recorded span of the same trace.
+    if (e.span_id == root_span) {
+      EXPECT_EQ(e.parent_id, 0u) << e.name;
+    } else {
+      EXPECT_TRUE(ids_in_trace.count(e.parent_id) > 0)
+          << e.name << " parent " << e.parent_id << " not in trace";
+    }
+  }
+  EXPECT_EQ(work, kLanes);
+  EXPECT_EQ(nested_spans, kLanes);
+
+  // The barrier forced 7 of the 8 bodies onto pool tasks: those spans
+  // recorded on tids other than the root's, yet still in the root's tree.
+  std::set<uint32_t> work_tids;
+  uint32_t root_tid = 0;
+  for (const auto& e : events) {
+    if (e.name == "test.work") work_tids.insert(e.tid);
+    if (e.name == "test.request") root_tid = e.tid;
+  }
+  EXPECT_EQ(static_cast<int>(work_tids.size()), kLanes);
+  EXPECT_GT(work_tids.count(root_tid), 0u);  // the caller participates
+}
+
+/// Two requests sharing one pool, running concurrently: steals interleave
+/// their tasks on the same workers, but the per-task context restore must
+/// keep every span in its own request's trace — zero cross-contamination.
+TEST_F(TraceTest, ConcurrentRequestsDoNotCrossContaminate) {
+  ThreadPool pool(4);
+  constexpr int kItems = 64;
+  uint64_t traces[2] = {0, 0};
+  auto run_request = [&](int which, const char* span_name) {
+    TraceContextScope request(TraceContext::NewRequest());
+    TraceSpan root(which == 0 ? "test.req_a" : "test.req_b");
+    traces[which] = root.context().trace_id;
+    pool.ParallelFor(kItems, [&](int64_t) {
+      TraceSpan work(span_name);
+      (void)work;
+    });
+  };
+  std::thread a([&] { run_request(0, "test.work_a"); });
+  std::thread b([&] { run_request(1, "test.work_b"); });
+  a.join();
+  b.join();
+  Tracer::Global().Disable();
+  const auto events = ParseEvents(Tracer::Global().ExportChromeTrace());
+
+  ASSERT_NE(traces[0], 0u);
+  ASSERT_NE(traces[1], 0u);
+  ASSERT_NE(traces[0], traces[1]);
+  int seen_a = 0, seen_b = 0;
+  for (const auto& e : events) {
+    if (e.name == "test.work_a") {
+      ++seen_a;
+      EXPECT_EQ(e.trace_id, traces[0]) << "A span bled into another trace";
+    } else if (e.name == "test.work_b") {
+      ++seen_b;
+      EXPECT_EQ(e.trace_id, traces[1]) << "B span bled into another trace";
+    }
+  }
+  EXPECT_EQ(seen_a, kItems);
+  EXPECT_EQ(seen_b, kItems);
+}
+
+TEST_F(TraceTest, SpanContextSurvivesForDeferredWork) {
+  // TraceSpan::context() hands out {trace, span}; installing it later —
+  // even on another thread, after the span closed — parents new spans
+  // under the original one (how plans re-enter their planning request).
+  TraceContext deferred;
+  uint64_t parent_span = 0;
+  {
+    TraceContextScope request(TraceContext::NewRequest());
+    TraceSpan root("test.deferred_root");
+    deferred = root.context();
+    parent_span = deferred.span_id;
+  }
+  std::thread([&] {
+    TraceContextScope adopt(deferred);
+    OD_TRACE_SPAN("test.deferred_child");
+  }).join();
+  Tracer::Global().Disable();
+  const auto events = ParseEvents(Tracer::Global().ExportChromeTrace());
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.name == "test.deferred_child") {
+      found = true;
+      EXPECT_EQ(e.trace_id, deferred.trace_id);
+      EXPECT_EQ(e.parent_id, parent_span);
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST_F(TraceTest, ClearDiscardsEverything) {
